@@ -1,0 +1,100 @@
+"""E9 — robustness matrix: which properties each protocol keeps under which failures.
+
+Reproduces the qualitative bottom row of Table 5 ("Sync. NBAC" / "Blocking" /
+"Indulgent") by running every registered protocol through batteries of
+failure-free, crash-failure and network-failure executions and recording which
+of agreement / validity / termination survive each class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_rows
+from repro.analysis import render_table
+from repro.core.checker import robustness_row
+from repro.protocols.registry import all_protocols
+from repro.sim.faults import DelayRule, FaultPlan
+from repro.sim.runner import Simulation
+
+N, F = 5, 2
+
+PLANS = {
+    "failure-free": [FaultPlan.failure_free()],
+    "crash-failure": [
+        FaultPlan.crash(1, at=0.0),
+        FaultPlan.crash(1, at=1.0),
+        FaultPlan.crash(3, at=0.0),
+        FaultPlan.crashes_at({1: 0.0, 4: 1.0}),
+    ],
+    "network-failure": [
+        FaultPlan.delay_messages(src=1, delay=40.0),
+        FaultPlan.delay_messages(dst=5, delay=40.0, after_time=0.5),
+        FaultPlan(delay_rules=[DelayRule(predicate=lambda p: isinstance(p, tuple), delay=30.0,
+                                         after_time=0.5, src=2)]),
+    ],
+}
+
+VOTES = [[1] * N, [1, 1, 0, 1, 1]]
+
+
+def build_matrix():
+    rows = []
+    for name, info in sorted(all_protocols().items()):
+        traces_by_class = {}
+        for cls_name, plans in PLANS.items():
+            traces = []
+            for plan in plans:
+                for votes in VOTES:
+                    sim = Simulation(n=N, f=F, process_class=info.cls, fault_plan=plan,
+                                     max_time=400, seed=1)
+                    traces.append(sim.run(votes).trace)
+            traces_by_class[cls_name] = traces
+        held = robustness_row(traces_by_class)
+        rows.append(
+            {
+                "protocol": name,
+                "failure-free": held["failure-free"],
+                "crash-failure": held["crash-failure"],
+                "network-failure": held["network-failure"],
+                "claimed_cell": str(info.cell) if info.cell else "-",
+            }
+        )
+    return rows
+
+
+def test_robustness_matrix(benchmark):
+    rows = benchmark.pedantic(build_matrix, rounds=1, iterations=1)
+    by_protocol = {r["protocol"]: r for r in rows}
+
+    # every protocol solves NBAC in failure-free executions
+    assert all(r["failure-free"] == "AVT" for r in rows)
+
+    # indulgent protocols keep all three properties in every class
+    for name in ("INBAC", "(2n-2+f)NBAC", "PaxosCommit", "FasterPaxosCommit"):
+        assert by_protocol[name]["crash-failure"] == "AVT"
+        assert by_protocol[name]["network-failure"] == "AVT"
+
+    # 2PC is blocking: termination is lost as soon as the coordinator can crash
+    assert "T" not in by_protocol["2PC"]["crash-failure"]
+    assert "A" in by_protocol["2PC"]["crash-failure"]
+    assert "V" in by_protocol["2PC"]["network-failure"]
+
+    # the synchronous NBAC protocols keep AVT under crashes but shed
+    # properties under network failures (they are not indulgent)
+    assert by_protocol["1NBAC"]["crash-failure"] == "AVT"
+    assert by_protocol["(n-1+f)NBAC"]["crash-failure"] == "AVT"
+    assert by_protocol["(2n-2)NBAC"]["crash-failure"] == "AVT"
+
+    # every protocol's claimed cell is at most what it actually delivered
+    for name, info in all_protocols().items():
+        if info.cell is None:
+            continue
+        delivered_cf = set(by_protocol[name]["crash-failure"])
+        delivered_nf = set(by_protocol[name]["network-failure"])
+        assert {p.value for p in info.cell.cf} <= delivered_cf
+        assert {p.value for p in info.cell.nf} <= delivered_nf
+
+    attach_rows(benchmark, "robustness_matrix", rows)
+    print()
+    print(render_table(rows, title=f"E9 — robustness matrix (n={N}, f={F})"))

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+environments without the ``wheel`` package (where PEP 660 editable installs
+are unavailable, e.g. offline containers) can still do a development install
+with ``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""repro — reproduction of "How Fast can a Distributed Transaction Commit?".
+
+Guerraoui & Wang, PODS 2017.
+
+The package provides:
+
+* a deterministic discrete-event simulator of synchronous / eventually
+  synchronous message-passing systems (:mod:`repro.sim`);
+* the paper's atomic-commit problem framework — properties, robustness
+  lattice, the Table 1 lower bounds and the two complexity measures
+  (:mod:`repro.core`);
+* implementations of every protocol the paper defines or compares against,
+  including INBAC (:mod:`repro.protocols`), on top of a Paxos-based uniform
+  consensus substrate (:mod:`repro.consensus`);
+* a partitioned transactional key-value store whose commit layer is pluggable
+  with any of those protocols (:mod:`repro.db`), plus workload generators
+  (:mod:`repro.workloads`);
+* closed-form complexity formulas, table renderers and measured-vs-paper
+  comparison helpers used by the benchmarks (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import run_nice_execution, INBAC, nice_execution_complexity
+>>> result = run_nice_execution(INBAC, n=5, f=2)
+>>> stats = nice_execution_complexity(result.trace)
+>>> stats.message_delays, stats.messages
+(2.0, 20)
+"""
+
+from repro.core import (
+    PropertyPair,
+    check_nbac,
+    delay_lower_bound,
+    is_nice_execution,
+    message_lower_bound,
+    nice_execution_complexity,
+    table1_bounds,
+)
+from repro.errors import (
+    ConfigurationError,
+    LockConflict,
+    ProtocolViolationError,
+    ReproError,
+    SimulationError,
+    StorageError,
+    TransactionAborted,
+)
+from repro.protocols import (
+    ABORT,
+    ANBAC,
+    COMMIT,
+    INBAC,
+    AvNBACDelayOptimal,
+    AvNBACMessageOptimal,
+    FasterPaxosCommit,
+    NMinus1PlusFNBAC,
+    OneNBAC,
+    PaxosCommit,
+    ThreePhaseCommit,
+    TwoNMinus2NBAC,
+    TwoNMinus2PlusFNBAC,
+    TwoPhaseCommit,
+    ZeroNBAC,
+    all_protocols,
+    get_protocol,
+    table5_protocols,
+)
+from repro.sim import FaultPlan, FixedDelay, Simulation, SimulationResult, Trace
+from repro.sim.runner import run_nice_execution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABORT",
+    "ANBAC",
+    "AvNBACDelayOptimal",
+    "AvNBACMessageOptimal",
+    "COMMIT",
+    "ConfigurationError",
+    "FasterPaxosCommit",
+    "FaultPlan",
+    "FixedDelay",
+    "INBAC",
+    "LockConflict",
+    "NMinus1PlusFNBAC",
+    "OneNBAC",
+    "PaxosCommit",
+    "PropertyPair",
+    "ProtocolViolationError",
+    "ReproError",
+    "Simulation",
+    "SimulationResult",
+    "SimulationError",
+    "StorageError",
+    "ThreePhaseCommit",
+    "Trace",
+    "TransactionAborted",
+    "TwoNMinus2NBAC",
+    "TwoNMinus2PlusFNBAC",
+    "TwoPhaseCommit",
+    "ZeroNBAC",
+    "all_protocols",
+    "check_nbac",
+    "delay_lower_bound",
+    "get_protocol",
+    "is_nice_execution",
+    "message_lower_bound",
+    "nice_execution_complexity",
+    "run_nice_execution",
+    "table1_bounds",
+    "table5_protocols",
+    "__version__",
+]

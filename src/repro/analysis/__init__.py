@@ -1,0 +1,44 @@
+"""Analysis helpers: closed-form complexity, table rendering and comparison.
+
+* :mod:`repro.analysis.formulas` — the paper's published complexity formulas
+  (Tables 1, 4 and 5) as functions of ``n`` and ``f``.
+* :mod:`repro.analysis.tables` — builders that regenerate the paper's tables,
+  either purely from the formulas or by actually running the protocols in the
+  simulator and measuring.
+* :mod:`repro.analysis.compare` — measured-vs-paper comparison records.
+* :mod:`repro.analysis.render` — plain-text table rendering used by the
+  examples and benchmarks.
+"""
+
+from repro.analysis.compare import ComparisonRow, compare_measured_to_paper
+from repro.analysis.formulas import (
+    paper_table4,
+    paper_table5_delays,
+    paper_table5_messages,
+    protocol_paper_formulas,
+)
+from repro.analysis.render import render_table
+from repro.analysis.tables import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    build_table5,
+    measure_nice_execution,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "build_table5",
+    "compare_measured_to_paper",
+    "measure_nice_execution",
+    "paper_table4",
+    "paper_table5_delays",
+    "paper_table5_messages",
+    "protocol_paper_formulas",
+    "render_table",
+]

@@ -1,0 +1,57 @@
+"""Measured-vs-paper comparison records used by EXPERIMENTS.md and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ComparisonRow:
+    """One (protocol, n, f, metric) comparison of a measured value to the paper's."""
+
+    experiment: str
+    protocol: str
+    n: int
+    f: int
+    metric: str
+    measured: float
+    paper: Optional[float]
+
+    @property
+    def matches(self) -> bool:
+        """Exact match (the simulator reproduces the abstract model exactly)."""
+        if self.paper is None:
+            return True
+        return abs(self.measured - self.paper) < 1e-9
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "protocol": self.protocol,
+            "n": self.n,
+            "f": self.f,
+            "metric": self.metric,
+            "measured": self.measured,
+            "paper": self.paper,
+            "match": "yes" if self.matches else "no",
+        }
+
+
+def compare_measured_to_paper(rows: List[ComparisonRow]) -> Dict[str, object]:
+    """Aggregate a list of comparisons into a short summary."""
+    total = len(rows)
+    exact = sum(1 for r in rows if r.matches)
+    mismatches = [r for r in rows if not r.matches]
+    return {
+        "total": total,
+        "exact_matches": exact,
+        "mismatches": [r.as_dict() for r in mismatches],
+        "match_rate": (exact / total) if total else 1.0,
+    }

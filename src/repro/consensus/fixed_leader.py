@@ -1,0 +1,59 @@
+"""A minimal fixed-coordinator consensus used by fast unit tests.
+
+Every proposer forwards its proposal to a fixed coordinator (the lowest
+process id by default); the coordinator decides the first proposal it receives
+and broadcasts the decision.  This satisfies validity and agreement but *not*
+termination if the coordinator crashes — it exists purely as a lightweight,
+deterministic stand-in for Paxos in tests that only exercise failure-free or
+coordinator-correct scenarios, and as a baseline in the consensus unit tests
+themselves.  The commit protocols default to :class:`PaxosConsensus`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.consensus.interfaces import ConsensusComponent
+from repro.sim.process import Process
+
+
+class FixedLeaderConsensus(ConsensusComponent):
+    """Forward-to-coordinator consensus (coordinator = process ``leader``)."""
+
+    def __init__(
+        self,
+        host: Process,
+        name: str = "cons",
+        on_decide: Optional[Callable[[Any], None]] = None,
+        leader: int = 1,
+    ):
+        super().__init__(host, name, on_decide)
+        self.leader = leader
+        self._leader_decided = False
+
+    def propose(self, value: Any) -> None:
+        if self.proposed or self.decided:
+            return
+        self.proposed = True
+        self.proposal = value
+        if self.host.pid == self.leader:
+            self._leader_decide(value)
+        else:
+            self.send(self.leader, ("FWD", value))
+
+    def _leader_decide(self, value: Any) -> None:
+        if self._leader_decided:
+            return
+        self._leader_decided = True
+        self.broadcast(("DEC", value), include_self=False)
+        self._deliver_decision(value)
+
+    def on_deliver(self, src: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "FWD" and self.host.pid == self.leader:
+            self._leader_decide(payload[1])
+        elif kind == "DEC":
+            self._deliver_decision(payload[1])
+
+    def on_timeout(self, name: str) -> None:  # pragma: no cover - no timers used
+        pass

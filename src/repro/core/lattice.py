@@ -1,0 +1,156 @@
+"""The robustness lattice of atomic-commit problems.
+
+The paper parameterises the atomic commit problem by a *property pair*
+``(X, Y)``: the protocol must (a) solve NBAC in every failure-free execution,
+(b) satisfy the set ``X ⊆ {A, V, T}`` of properties in every crash-failure
+execution, and (c) satisfy ``Y ⊆ {A, V, T}`` in every network-failure
+execution.  Because every crash-failure execution is also an execution of the
+eventually-synchronous (network-failure) system, a property required in
+network-failure executions is automatically required in crash-failure ones;
+the 64 syntactic pairs therefore collapse to the 27 pairs with ``Y ⊆ X``
+(the non-empty cells of Table 1).
+
+``(X, Y)`` is *less robust* than ``(U, V)`` when ``X ⊆ U`` and ``Y ⊆ V``; this
+partial order is what the paper uses to prove lower bounds only for the least
+robust member of each complexity group and to pick the locally-maximal cells
+for which a matching protocol is needed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class Prop(str, Enum):
+    """The three NBAC properties."""
+
+    AGREEMENT = "A"
+    VALIDITY = "V"
+    TERMINATION = "T"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+ALL_PROPS: FrozenSet[Prop] = frozenset(Prop)
+
+_CANONICAL_ORDER = (Prop.AGREEMENT, Prop.VALIDITY, Prop.TERMINATION)
+
+
+def _normalise(props: Iterable) -> FrozenSet[Prop]:
+    """Accept iterables of Prop or of single-letter strings like ``"AVT"``."""
+    if isinstance(props, str):
+        props = list(props)
+    result = set()
+    for p in props:
+        if isinstance(p, Prop):
+            result.add(p)
+        else:
+            try:
+                result.add(Prop(str(p).upper()))
+            except ValueError as exc:
+                raise ConfigurationError(f"unknown property {p!r}") from exc
+    return frozenset(result)
+
+
+def prop_label(props: FrozenSet[Prop]) -> str:
+    """Render a property set in the paper's notation (``∅``, ``A``, ``AVT``, ...)."""
+    if not props:
+        return "∅"
+    return "".join(p.value for p in _CANONICAL_ORDER if p in props)
+
+
+@dataclass(frozen=True)
+class PropertyPair:
+    """One cell of Table 1: properties required under crash / network failures."""
+
+    cf: FrozenSet[Prop]
+    nf: FrozenSet[Prop]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cf", _normalise(self.cf))
+        object.__setattr__(self, "nf", _normalise(self.nf))
+
+    # -- constructors ----------------------------------------------------- #
+    @classmethod
+    def of(cls, cf: Iterable, nf: Iterable) -> "PropertyPair":
+        return cls(cf=_normalise(cf), nf=_normalise(nf))
+
+    # -- structure --------------------------------------------------------- #
+    def is_canonical(self) -> bool:
+        """Whether this is one of the 27 non-empty cells (``nf ⊆ cf``)."""
+        return self.nf <= self.cf
+
+    def canonicalised(self) -> "PropertyPair":
+        """Map an "empty" cell (X, Y) to the equivalent cell (X ∪ Y, Y)."""
+        return PropertyPair(cf=self.cf | self.nf, nf=self.nf)
+
+    def label(self) -> Tuple[str, str]:
+        return (prop_label(self.cf), prop_label(self.nf))
+
+    def __str__(self) -> str:
+        cf, nf = self.label()
+        return f"(CF={cf}, NF={nf})"
+
+    # -- the paper's named problems ---------------------------------------- #
+    @classmethod
+    def indulgent_atomic_commit(cls) -> "PropertyPair":
+        """The most robust problem: NBAC in every network-failure execution."""
+        return cls.of("AVT", "AVT")
+
+    @classmethod
+    def synchronous_nbac(cls) -> "PropertyPair":
+        """NBAC in every crash-failure execution, nothing required under network failures."""
+        return cls.of("AVT", "")
+
+    @classmethod
+    def weakest(cls) -> "PropertyPair":
+        """Only failure-free executions need to solve NBAC."""
+        return cls.of("", "")
+
+
+def robustness_leq(a: PropertyPair, b: PropertyPair) -> bool:
+    """``a`` is less (or equally) robust than ``b``: ``a.cf ⊆ b.cf`` and ``a.nf ⊆ b.nf``."""
+    return a.cf <= b.cf and a.nf <= b.nf
+
+
+def all_cells() -> List[PropertyPair]:
+    """The 27 non-empty cells of Table 1, in row-major (NF, CF) order."""
+    subsets = []
+    for r in range(4):
+        for combo in itertools.combinations(_CANONICAL_ORDER, r):
+            subsets.append(frozenset(combo))
+    cells = []
+    for nf in subsets:
+        for cf in subsets:
+            pair = PropertyPair(cf=cf, nf=nf)
+            if pair.is_canonical():
+                cells.append(pair)
+    return cells
+
+
+def least_robust(cells: Sequence[PropertyPair]) -> List[PropertyPair]:
+    """Cells of the group that are minimal under the robustness order."""
+    return [
+        c
+        for c in cells
+        if not any(robustness_leq(other, c) and other != c for other in cells)
+    ]
+
+
+def local_maxima(cells: Sequence[PropertyPair]) -> List[PropertyPair]:
+    """Cells of the group that are maximal under the robustness order.
+
+    The paper designs one matching protocol per local maximum of each
+    complexity group (Tables 2 and 3).
+    """
+    return [
+        c
+        for c in cells
+        if not any(robustness_leq(c, other) and other != c for other in cells)
+    ]

@@ -1,0 +1,47 @@
+"""Distributed transactional key-value store substrate.
+
+The paper motivates atomic commit through transactional systems (Sinfonia,
+Percolator, Spanner, Helios, ...): a transaction touches several partitions
+(datacenters / database nodes), each partition votes on whether its part of
+the transaction executed correctly, and a distributed commit protocol decides
+the outcome.  This package is that substrate:
+
+* :mod:`repro.db.store` — per-partition versioned key-value storage;
+* :mod:`repro.db.locks` — a no-wait lock manager (conflicts produce "no"
+  votes, the Helios-style behaviour described in the introduction);
+* :mod:`repro.db.wal` — a write-ahead log recording prepare/commit/abort;
+* :mod:`repro.db.transaction` — transactions as sets of per-partition
+  operations (the Sinfonia "minitransaction" shape);
+* :mod:`repro.db.partition` — the partition server process: it prepares
+  transactions, votes, and runs an *embedded* instance of any atomic-commit
+  protocol from :mod:`repro.protocols` among the transaction's participants;
+* :mod:`repro.db.coordinator` — the client/coordinator process driving a
+  workload of transactions;
+* :mod:`repro.db.cluster` — the cluster driver wiring partitions, client and
+  the discrete-event scheduler together and reporting latency and message
+  statistics per commit protocol;
+* :mod:`repro.db.conflict` — a Helios-style cross-datacenter conflict
+  detector used by the examples.
+"""
+
+from repro.db.cluster import ClusterConfig, ClusterReport, TransactionOutcome, run_cluster
+from repro.db.conflict import ConflictDetector
+from repro.db.locks import LockManager, LockMode
+from repro.db.store import VersionedStore
+from repro.db.transaction import Operation, Transaction
+from repro.db.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterReport",
+    "ConflictDetector",
+    "LockManager",
+    "LockMode",
+    "Operation",
+    "Transaction",
+    "TransactionOutcome",
+    "VersionedStore",
+    "WalRecord",
+    "WriteAheadLog",
+    "run_cluster",
+]

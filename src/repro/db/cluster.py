@@ -1,0 +1,181 @@
+"""Cluster driver: partitions + coordinator + scheduler, with reporting.
+
+:func:`run_cluster` wires a set of :class:`~repro.db.partition.PartitionServer`
+processes and one :class:`~repro.db.coordinator.ClientCoordinator` onto the
+discrete-event scheduler, runs a transaction workload with the configured
+commit protocol, and returns a :class:`ClusterReport` with per-transaction
+outcomes and message statistics.  The database benchmark (experiment E7) runs
+this once per commit protocol and compares commit latency and message volume.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Type, Union
+
+from repro.db.coordinator import ClientCoordinator, TransactionOutcome
+from repro.db.partition import PartitionServer
+from repro.db.transaction import Transaction
+from repro.errors import ConfigurationError
+from repro.protocols.base import COMMIT
+from repro.protocols.registry import get_protocol
+from repro.sim.faults import FaultPlan
+from repro.sim.network import DelayModel, FixedDelay
+from repro.sim.runner import Scheduler
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of one cluster run."""
+
+    num_partitions: int = 4
+    commit_protocol: Union[str, type] = "2PC"
+    commit_f: int = 1
+    protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
+    delay_model: Optional[DelayModel] = None
+    fault_plan: Optional[FaultPlan] = None
+    seed: int = 0
+    max_time: float = 2000.0
+    prepare_margin: float = 1.0
+
+    def resolve_protocol(self) -> type:
+        if isinstance(self.commit_protocol, str):
+            return get_protocol(self.commit_protocol).cls
+        return self.commit_protocol
+
+    def protocol_label(self) -> str:
+        if isinstance(self.commit_protocol, str):
+            return self.commit_protocol
+        return getattr(self.commit_protocol, "protocol_name", self.commit_protocol.__name__)
+
+
+@dataclass
+class ClusterReport:
+    """Result of one cluster run."""
+
+    protocol: str
+    num_partitions: int
+    outcomes: List[TransactionOutcome]
+    messages_total: int
+    messages_by_module: Dict[str, int]
+    end_time: float
+    partition_stats: Dict[int, Dict[str, int]]
+    store_snapshots: Dict[int, Dict[str, object]]
+
+    # -- aggregates -------------------------------------------------------- #
+    @property
+    def committed(self) -> int:
+        return sum(1 for o in self.outcomes if o.decision == COMMIT)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for o in self.outcomes if o.completed and o.decision != COMMIT)
+
+    @property
+    def incomplete(self) -> int:
+        return sum(1 for o in self.outcomes if not o.completed)
+
+    def commit_latencies(self) -> List[float]:
+        return [o.commit_latency for o in self.outcomes if o.commit_latency is not None]
+
+    def mean_commit_latency(self) -> Optional[float]:
+        latencies = self.commit_latencies()
+        return statistics.mean(latencies) if latencies else None
+
+    def p95_commit_latency(self) -> Optional[float]:
+        latencies = sorted(self.commit_latencies())
+        if not latencies:
+            return None
+        index = max(0, int(round(0.95 * len(latencies))) - 1)
+        return latencies[index]
+
+    def messages_per_transaction(self) -> Optional[float]:
+        if not self.outcomes:
+            return None
+        return self.messages_total / len(self.outcomes)
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "partitions": self.num_partitions,
+            "txns": len(self.outcomes),
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "incomplete": self.incomplete,
+            "mean_latency": self.mean_commit_latency(),
+            "p95_latency": self.p95_commit_latency(),
+            "messages": self.messages_total,
+            "msgs_per_txn": self.messages_per_transaction(),
+        }
+
+
+def run_cluster(
+    config: ClusterConfig, transactions: Sequence[Transaction]
+) -> ClusterReport:
+    """Run a workload of transactions on a simulated cluster."""
+    if config.num_partitions < 2:
+        raise ConfigurationError("a cluster needs at least 2 partitions")
+    if not transactions:
+        raise ConfigurationError("the workload is empty")
+    partitions = config.num_partitions
+    client_pid = partitions + 1
+    scheduler = Scheduler(
+        n=partitions + 1,
+        f=partitions,  # permits any crash plan over the partitions
+        delay_model=config.delay_model or FixedDelay(1.0),
+        fault_plan=config.fault_plan,
+        seed=config.seed,
+        max_time=config.max_time,
+        protocol_name=f"db/{config.protocol_label()}",
+    )
+    protocol_cls = config.resolve_protocol()
+
+    for pid in range(1, partitions + 1):
+        scheduler.bind_process(
+            pid,
+            PartitionServer(
+                pid,
+                partitions + 1,
+                partitions,
+                scheduler.env_for(pid),
+                commit_protocol=protocol_cls,
+                commit_f=config.commit_f,
+                protocol_kwargs=config.protocol_kwargs,
+            ),
+        )
+    client = ClientCoordinator(
+        client_pid,
+        partitions + 1,
+        partitions,
+        scheduler.env_for(client_pid),
+        workload=list(transactions),
+        prepare_margin=config.prepare_margin,
+    )
+    scheduler.bind_process(client_pid, client)
+    for process in scheduler.processes.values():
+        process.on_start()
+
+    scheduler.set_stop_predicate(lambda s: client.all_completed())
+    trace = scheduler.run()
+
+    messages_by_module: Dict[str, int] = {}
+    for record in trace.counted_messages():
+        messages_by_module[record.module] = messages_by_module.get(record.module, 0) + 1
+
+    partition_stats = {
+        pid: dict(scheduler.processes[pid].statistics) for pid in range(1, partitions + 1)
+    }
+    store_snapshots = {
+        pid: scheduler.processes[pid].store.snapshot() for pid in range(1, partitions + 1)
+    }
+    return ClusterReport(
+        protocol=config.protocol_label(),
+        num_partitions=partitions,
+        outcomes=list(client.outcomes.values()),
+        messages_total=trace.message_count(),
+        messages_by_module=messages_by_module,
+        end_time=trace.end_time,
+        partition_stats=partition_stats,
+        store_snapshots=store_snapshots,
+    )

@@ -1,0 +1,128 @@
+"""The client / transaction coordinator process.
+
+The coordinator submits transactions according to a workload schedule: for
+every transaction it sends an ``EXEC`` request to each participant partition
+carrying that partition's operations and the agreed commit-round start time
+(one message-delay bound after submission, so every participant has prepared
+before the commit protocol's "time 0").  It then records the outcome and the
+latency when the first participant reports ``DONE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.db.transaction import Transaction
+from repro.sim.process import Process
+
+
+@dataclass
+class TransactionOutcome:
+    """What the coordinator observed for one transaction."""
+
+    txn_id: str
+    decision: Optional[int] = None
+    submit_time: float = 0.0
+    #: time at which the first participant decided (commit-protocol latency)
+    decide_time: Optional[float] = None
+    #: time at which the coordinator received the first DONE
+    ack_time: Optional[float] = None
+    participants: List[int] = field(default_factory=list)
+
+    @property
+    def commit_latency(self) -> Optional[float]:
+        """Message delays from submission to the first participant decision."""
+        if self.decide_time is None:
+            return None
+        return self.decide_time - self.submit_time
+
+    @property
+    def ack_latency(self) -> Optional[float]:
+        if self.ack_time is None:
+            return None
+        return self.ack_time - self.submit_time
+
+    @property
+    def completed(self) -> bool:
+        return self.decision is not None
+
+
+class ClientCoordinator(Process):
+    """Submits a workload of transactions and collects their outcomes."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        f: int,
+        env,
+        workload: List[Transaction],
+        prepare_margin: float = 1.0,
+    ):
+        super().__init__(pid, n, f, env)
+        self.workload = list(workload)
+        self.prepare_margin = prepare_margin
+        self.outcomes: Dict[str, TransactionOutcome] = {}
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def on_start(self) -> None:
+        for index, txn in enumerate(self.workload):
+            self.set_timer(txn.submit_time, name=f"submit/{index}")
+
+    def on_propose(self, value) -> None:  # pragma: no cover - not used
+        pass
+
+    def on_timeout(self, name: str) -> None:
+        if not name.startswith("submit/"):
+            return
+        index = int(name.split("/", 1)[1])
+        self._submit(self.workload[index])
+
+    def _submit(self, txn: Transaction) -> None:
+        participants = txn.participants()
+        start_time = self.now() + self.prepare_margin
+        self.outcomes[txn.txn_id] = TransactionOutcome(
+            txn_id=txn.txn_id,
+            submit_time=self.now(),
+            participants=participants,
+        )
+        for partition in participants:
+            self.send(
+                partition,
+                (
+                    "EXEC",
+                    txn.txn_id,
+                    start_time,
+                    tuple(participants),
+                    tuple(txn.read_set(partition)),
+                    dict(txn.write_set(partition)),
+                ),
+            )
+
+    # ------------------------------------------------------------------ #
+    # outcome collection
+    # ------------------------------------------------------------------ #
+    def on_deliver(self, src: int, payload) -> None:
+        if payload[0] != "DONE":
+            return
+        _, txn_id, decision, decide_time = payload
+        outcome = self.outcomes.get(txn_id)
+        if outcome is None or outcome.completed:
+            return
+        outcome.decision = decision
+        outcome.decide_time = decide_time
+        outcome.ack_time = self.now()
+
+    # ------------------------------------------------------------------ #
+    # queries used by the cluster driver
+    # ------------------------------------------------------------------ #
+    def all_completed(self) -> bool:
+        return len(self.outcomes) == len(self.workload) and all(
+            o.completed for o in self.outcomes.values()
+        )
+
+    def completed_outcomes(self) -> List[TransactionOutcome]:
+        return [o for o in self.outcomes.values() if o.completed]

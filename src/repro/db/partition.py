@@ -1,0 +1,245 @@
+"""The partition server process.
+
+A partition owns a shard of the key space.  For every distributed transaction
+it participates in, it:
+
+1. receives the coordinator's ``EXEC`` request carrying its local operations
+   and the agreed commit-round start time;
+2. *prepares*: acquires no-wait locks for the read/write sets, logs a
+   ``PREPARE`` record and derives its vote (1 if the locks were granted, 0 on
+   conflict);
+3. runs an **embedded instance** of the configured atomic-commit protocol
+   among the transaction's participants — any protocol from
+   :mod:`repro.protocols` can be plugged in unchanged because the embedded
+   environment exposes the same :class:`~repro.sim.process.ProcessEnv`
+   interface the simulator gives to stand-alone protocol processes;
+4. on decision, logs ``COMMIT``/``ABORT``, applies the write set to the
+   versioned store (commit only), releases the locks and acknowledges the
+   coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.db.conflict import ConflictDetector
+from repro.db.locks import LockManager, LockMode
+from repro.db.store import VersionedStore
+from repro.db.wal import ABORT as WAL_ABORT
+from repro.db.wal import COMMIT as WAL_COMMIT
+from repro.db.wal import PREPARE as WAL_PREPARE
+from repro.db.wal import WriteAheadLog
+from repro.protocols.base import ABORT, COMMIT, AtomicCommitProcess
+from repro.protocols.two_phase import TwoPhaseCommit
+from repro.sim.process import Process
+
+_TXN_TAG = "__txn__"
+_TIMER_PREFIX = "txn/"
+_PROPOSE_TIMER = "__propose__"
+
+
+class EmbeddedCommitEnv:
+    """A :class:`ProcessEnv` that tunnels one commit instance through its host.
+
+    Local process ids ``1..k`` of the embedded protocol map onto the global
+    partition ids of the transaction's participants; timers are namespaced per
+    transaction and shifted so that the protocol's "time 0" is the agreed
+    commit-round start time.
+    """
+
+    def __init__(
+        self, host: "PartitionServer", txn_id: str, participants: List[int], start_time: float
+    ):
+        self.host = host
+        self.txn_id = txn_id
+        self.participants = list(participants)
+        self.start_time = start_time
+
+    # -- id mapping -------------------------------------------------------- #
+    def global_pid(self, local_pid: int) -> int:
+        return self.participants[local_pid - 1]
+
+    def local_pid(self, global_pid: int) -> int:
+        return self.participants.index(global_pid) + 1
+
+    # -- ProcessEnv interface ----------------------------------------------- #
+    def send(self, dst: int, payload: Any, module: str = "main") -> None:
+        self.host.env.send(
+            self.global_pid(dst),
+            (_TXN_TAG, self.txn_id, payload),
+            module=f"commit:{module}",
+        )
+
+    def set_timer(self, at_units: float, name: str = "timer") -> None:
+        self.host.env.set_timer(
+            self.start_time + at_units, name=f"{_TIMER_PREFIX}{self.txn_id}/{name}"
+        )
+
+    def cancel_timer(self, name: str = "timer") -> None:
+        self.host.env.cancel_timer(name=f"{_TIMER_PREFIX}{self.txn_id}/{name}")
+
+    def decide(self, value: Any) -> None:
+        self.host.on_commit_decision(self.txn_id, value)
+
+    def now(self) -> float:
+        return self.host.env.now() - self.start_time
+
+
+class _PendingTransaction:
+    """Per-transaction state kept by the partition between prepare and decide."""
+
+    def __init__(
+        self,
+        txn_id: str,
+        coordinator: int,
+        participants: List[int],
+        vote: int,
+        writes: Dict[str, object],
+        instance: Optional[AtomicCommitProcess],
+    ):
+        self.txn_id = txn_id
+        self.coordinator = coordinator
+        self.participants = participants
+        self.vote = vote
+        self.writes = writes
+        self.instance = instance
+        self.decided: Optional[int] = None
+
+
+class PartitionServer(Process):
+    """One shard of the distributed store, embedded-commit capable."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        f: int,
+        env,
+        commit_protocol: type = TwoPhaseCommit,
+        commit_f: int = 1,
+        protocol_kwargs: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(pid, n, f, env)
+        self.store = VersionedStore()
+        self.locks = LockManager()
+        self.wal = WriteAheadLog()
+        self.conflicts = ConflictDetector()
+        self.commit_protocol = commit_protocol
+        self.commit_f = commit_f
+        self.protocol_kwargs = dict(protocol_kwargs or {})
+        self.transactions: Dict[str, _PendingTransaction] = {}
+        #: messages for transactions whose EXEC has not arrived yet
+        self._early_messages: Dict[str, List[Tuple[int, Any]]] = {}
+        self.statistics = {"prepared": 0, "committed": 0, "aborted": 0, "vote_no": 0}
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+    def on_propose(self, value: Any) -> None:  # pragma: no cover - not used
+        pass
+
+    def on_deliver(self, src: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "EXEC":
+            _, txn_id, start_time, participants, reads, writes = payload
+            self._prepare(src, txn_id, start_time, list(participants), list(reads), dict(writes))
+        elif kind == _TXN_TAG:
+            _, txn_id, inner = payload
+            self._deliver_commit_message(src, txn_id, inner)
+        elif kind == "READ":
+            _, request_id, key = payload
+            value = self.store.get_or_default(key)
+            self.send(src, ("READ-REPLY", request_id, key, value))
+
+    def on_timeout(self, name: str) -> None:
+        if not name.startswith(_TIMER_PREFIX):
+            return
+        _, txn_id, timer_name = name.split("/", 2)
+        pending = self.transactions.get(txn_id)
+        if pending is None:
+            return
+        if timer_name == _PROPOSE_TIMER:
+            if pending.instance is not None:
+                pending.instance.on_propose(pending.vote)
+            else:
+                # single-participant transaction: decide locally
+                self.on_commit_decision(txn_id, pending.vote)
+            return
+        if pending.instance is not None:
+            pending.instance.timeout(timer_name)
+
+    # ------------------------------------------------------------------ #
+    # prepare
+    # ------------------------------------------------------------------ #
+    def _prepare(
+        self,
+        coordinator: int,
+        txn_id: str,
+        start_time: float,
+        participants: List[int],
+        reads: List[str],
+        writes: Dict[str, object],
+    ) -> None:
+        keys_by_mode = {key: LockMode.SHARED for key in reads}
+        keys_by_mode.update({key: LockMode.EXCLUSIVE for key in writes})
+        granted = self.locks.try_acquire_all(txn_id, keys_by_mode)
+        vote = COMMIT if granted else ABORT
+        if not granted:
+            self.statistics["vote_no"] += 1
+        self.conflicts.begin(txn_id, reads=set(reads), writes=set(writes))
+        self.wal.append(WAL_PREPARE, txn_id, writes=writes, timestamp=self.now())
+        self.statistics["prepared"] += 1
+
+        instance = None
+        if len(participants) > 1:
+            commit_env = EmbeddedCommitEnv(self, txn_id, participants, start_time)
+            local_pid = commit_env.local_pid(self.pid)
+            local_n = len(participants)
+            local_f = max(1, min(self.commit_f, local_n - 1))
+            instance = self.commit_protocol(
+                local_pid, local_n, local_f, commit_env, **self.protocol_kwargs
+            )
+        pending = _PendingTransaction(
+            txn_id=txn_id,
+            coordinator=coordinator,
+            participants=participants,
+            vote=vote,
+            writes=writes,
+            instance=instance,
+        )
+        self.transactions[txn_id] = pending
+        # align the start of the commit round across participants
+        self.env.set_timer(start_time, name=f"{_TIMER_PREFIX}{txn_id}/{_PROPOSE_TIMER}")
+        # replay any commit messages that raced ahead of the EXEC request
+        for src, inner in self._early_messages.pop(txn_id, []):
+            self._deliver_commit_message(src, txn_id, inner)
+
+    # ------------------------------------------------------------------ #
+    # the embedded commit instance
+    # ------------------------------------------------------------------ #
+    def _deliver_commit_message(self, src: int, txn_id: str, inner: Any) -> None:
+        pending = self.transactions.get(txn_id)
+        if pending is None or pending.instance is None:
+            self._early_messages.setdefault(txn_id, []).append((src, inner))
+            return
+        env: EmbeddedCommitEnv = pending.instance.env  # type: ignore[assignment]
+        local_src = env.local_pid(src)
+        pending.instance.deliver(local_src, inner)
+
+    def on_commit_decision(self, txn_id: str, decision: int) -> None:
+        """Callback from the embedded commit instance (or local decision)."""
+        pending = self.transactions.get(txn_id)
+        if pending is None or pending.decided is not None:
+            return
+        pending.decided = decision
+        if decision == COMMIT:
+            self.wal.append(WAL_COMMIT, txn_id, writes=pending.writes, timestamp=self.now())
+            if pending.writes:
+                self.store.apply_many(pending.writes, txn_id=txn_id)
+            self.statistics["committed"] += 1
+        else:
+            self.wal.append(WAL_ABORT, txn_id, timestamp=self.now())
+            self.statistics["aborted"] += 1
+        self.locks.release_all(txn_id)
+        self.conflicts.finish(txn_id)
+        self.send(pending.coordinator, ("DONE", txn_id, decision, self.now()))

@@ -1,0 +1,93 @@
+"""Versioned in-memory key-value storage for one partition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+@dataclass
+class VersionRecord:
+    """One committed version of a key."""
+
+    version: int
+    value: object
+    txn_id: Optional[str] = None
+
+
+@dataclass
+class VersionedStore:
+    """A small multi-version key-value store.
+
+    Every committed write appends a new version; reads return the latest
+    version (or the latest version at or below a requested snapshot version,
+    which the Helios-style conflict-detection example uses to read consistent
+    snapshots).
+    """
+
+    _data: Dict[str, List[VersionRecord]] = field(default_factory=dict)
+    _version_counter: int = 0
+
+    # -- writes ----------------------------------------------------------- #
+    def apply(self, key: str, value: object, txn_id: Optional[str] = None) -> int:
+        """Commit a new version of ``key`` and return its version number."""
+        self._version_counter += 1
+        record = VersionRecord(version=self._version_counter, value=value, txn_id=txn_id)
+        self._data.setdefault(key, []).append(record)
+        return record.version
+
+    def apply_many(self, writes: Dict[str, object], txn_id: Optional[str] = None) -> int:
+        """Commit a batch of writes atomically (single version for the batch)."""
+        self._version_counter += 1
+        version = self._version_counter
+        for key, value in writes.items():
+            self._data.setdefault(key, []).append(
+                VersionRecord(version=version, value=value, txn_id=txn_id)
+            )
+        return version
+
+    # -- reads ------------------------------------------------------------ #
+    def get(self, key: str, at_version: Optional[int] = None) -> object:
+        """Return the latest value of ``key`` (optionally at a snapshot)."""
+        versions = self._data.get(key)
+        if not versions:
+            raise StorageError(f"key {key!r} does not exist")
+        if at_version is None:
+            return versions[-1].value
+        for record in reversed(versions):
+            if record.version <= at_version:
+                return record.value
+        raise StorageError(f"key {key!r} has no version <= {at_version}")
+
+    def get_or_default(self, key: str, default: object = None) -> object:
+        try:
+            return self.get(key)
+        except StorageError:
+            return default
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def latest_version(self, key: str) -> Optional[int]:
+        versions = self._data.get(key)
+        return versions[-1].version if versions else None
+
+    def current_version(self) -> int:
+        """The store-wide version counter (largest committed version)."""
+        return self._version_counter
+
+    def keys(self) -> List[str]:
+        return sorted(self._data)
+
+    def history(self, key: str) -> List[VersionRecord]:
+        """Full version history of a key (most recent last)."""
+        return list(self._data.get(key, []))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Latest value of every key (used by tests and examples)."""
+        return {key: versions[-1].value for key, versions in self._data.items()}
+
+    def __len__(self) -> int:
+        return len(self._data)

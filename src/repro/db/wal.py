@@ -1,0 +1,91 @@
+"""Write-ahead log for one partition.
+
+The log records the lifecycle of every transaction the partition participates
+in (``PREPARE`` with the buffered writes, then ``COMMIT`` or ``ABORT``).  The
+store is only mutated when a ``COMMIT`` record is appended, so replaying the
+log after a crash reconstructs exactly the committed state — the recovery test
+in ``tests/db/test_wal.py`` exercises this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.db.store import VersionedStore
+from repro.errors import StorageError
+
+PREPARE = "PREPARE"
+COMMIT = "COMMIT"
+ABORT = "ABORT"
+
+
+@dataclass
+class WalRecord:
+    """One append-only log record."""
+
+    lsn: int
+    kind: str
+    txn_id: str
+    writes: Dict[str, object] = field(default_factory=dict)
+    timestamp: float = 0.0
+
+
+class WriteAheadLog:
+    """Append-only per-partition log."""
+
+    def __init__(self) -> None:
+        self._records: List[WalRecord] = []
+
+    def append(
+        self,
+        kind: str,
+        txn_id: str,
+        writes: Optional[Dict[str, object]] = None,
+        timestamp: float = 0.0,
+    ) -> WalRecord:
+        if kind not in (PREPARE, COMMIT, ABORT):
+            raise StorageError(f"unknown WAL record kind {kind!r}")
+        record = WalRecord(
+            lsn=len(self._records) + 1,
+            kind=kind,
+            txn_id=txn_id,
+            writes=dict(writes or {}),
+            timestamp=timestamp,
+        )
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[WalRecord]:
+        return list(self._records)
+
+    def records_for(self, txn_id: str) -> List[WalRecord]:
+        return [r for r in self._records if r.txn_id == txn_id]
+
+    def outcome_of(self, txn_id: str) -> Optional[str]:
+        """COMMIT / ABORT if decided, None if only prepared (in doubt)."""
+        for record in reversed(self._records):
+            if record.txn_id == txn_id and record.kind in (COMMIT, ABORT):
+                return record.kind
+        return None
+
+    def in_doubt(self) -> List[str]:
+        """Transactions prepared on this partition without a recorded outcome."""
+        prepared = [r.txn_id for r in self._records if r.kind == PREPARE]
+        return [txn for txn in prepared if self.outcome_of(txn) is None]
+
+    def replay(self, store: Optional[VersionedStore] = None) -> VersionedStore:
+        """Rebuild the committed store state from the log."""
+        store = store if store is not None else VersionedStore()
+        prepared: Dict[str, Dict[str, object]] = {}
+        for record in self._records:
+            if record.kind == PREPARE:
+                prepared[record.txn_id] = record.writes
+            elif record.kind == COMMIT:
+                writes = record.writes or prepared.get(record.txn_id, {})
+                if writes:
+                    store.apply_many(writes, txn_id=record.txn_id)
+        return store
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish configuration mistakes from protocol violations
+detected at runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, protocol or database component was misconfigured.
+
+    Examples: ``f`` outside ``[1, n - 1]``, an unknown protocol name, a fault
+    plan that crashes more processes than the protocol tolerates.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class ProtocolViolationError(ReproError):
+    """A protocol implementation violated one of its invariants at runtime.
+
+    This is raised by defensive checks inside protocol implementations (for
+    instance a process attempting to decide twice), not by the offline
+    property checker, which reports violations as data instead of raising.
+    """
+
+
+class TransactionAborted(ReproError):
+    """A distributed transaction was aborted.
+
+    Carries the transaction id and the reason (a conflicting vote, a failure
+    detected by the commit protocol, or an explicit client abort).
+    """
+
+    def __init__(self, txn_id: str, reason: str = "aborted"):
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class StorageError(ReproError):
+    """The key-value store substrate rejected an operation."""
+
+
+class LockConflict(ReproError):
+    """A lock request conflicted with an existing lock and was rejected."""
+
+    def __init__(self, key: str, holder: str, requester: str):
+        super().__init__(
+            f"lock conflict on key {key!r}: held by {holder}, requested by {requester}"
+        )
+        self.key = key
+        self.holder = holder
+        self.requester = requester

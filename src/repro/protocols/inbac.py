@@ -1,0 +1,303 @@
+"""INBAC — the paper's indulgent non-blocking atomic commit protocol.
+
+INBAC solves *indulgent atomic commit* (every network-failure execution solves
+NBAC, Definition 3) and is optimal in nice executions: every process decides
+after **two message delays** and the ``n`` processes exchange exactly
+``2 f n`` messages (Theorem 6).  The implementation follows the pseudocode of
+Appendix A line by line; variable names are kept identical so the code can be
+read against the paper.
+
+Protocol shape in a nice execution (all timers in units of the delay bound U):
+
+* **time 0** — every process ``P`` sends its vote ``[V, v]`` to its backup set
+  ``B_P``: the first ``f`` processes, plus ``P_{f+1}`` when ``P`` itself is
+  one of the first ``f`` (so ``B_P = {P1..Pf+1} \\ {P}`` for ``P ≤ Pf``).
+* **time U** — every backup process sends back, in a single message, the set
+  ``[C, collection]`` of all the votes it backs up (the acknowledgement of the
+  successful backups).
+* **time 2U** — a process that received the expected ``f`` correct
+  acknowledgements containing all ``n`` votes decides their logical AND.
+
+If an acknowledgement is missing or incomplete the process falls back to the
+underlying uniform-consensus module ``iuc`` (never invoked in nice
+executions), possibly after asking ``P_{f+1}..P_n`` for help — Figure 1's
+state machine, which this class records in :attr:`branch` for the Figure 1
+reproduction benchmark.
+
+The optional *fast-abort* optimisation mentioned at the end of Section 5.2
+(a process voting 0 aborts immediately and tells everyone) is available behind
+``fast_abort=True``; it accelerates failure-free aborting executions to one
+message delay without affecting nice executions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.protocols.base import ABORT, COMMIT, AtomicCommitProcess, logical_and
+
+# Figure 1 branch labels (see benchmarks/bench_figure1_inbac_states.py)
+BRANCH_FAST_DECIDE = "f-correct-acks/decide-AND"
+BRANCH_CONS_AND = "acks-incomplete/cons-propose-AND"
+BRANCH_CONS_ZERO = "acks-incomplete/cons-propose-0"
+BRANCH_ASK_HELP = "no-ack-from-backups/ask-for-more-acks"
+BRANCH_HELPED_FAST = "helped/decide-AND"
+BRANCH_HELPED_CONS_AND = "helped/cons-propose-AND"
+BRANCH_HELPED_CONS_ZERO = "helped/cons-propose-0"
+BRANCH_CONSENSUS_DECIDE = "decide-consensus-decision"
+BRANCH_FAST_ABORT = "fast-abort"
+
+
+class INBAC(AtomicCommitProcess):
+    """Indulgent NBAC, optimal at two message delays and ``2fn`` messages."""
+
+    protocol_name = "INBAC"
+
+    def __init__(self, pid, n, f, env, fast_abort: bool = False, **kwargs):
+        super().__init__(pid, n, f, env, **kwargs)
+        self.fast_abort = fast_abort
+        # state variables, named as in Appendix A
+        self.phase = 0
+        self.proposed = False
+        self.collection0: Set[Tuple[int, int]] = set()
+        self.collection1: Set[Tuple[int, FrozenSet[Tuple[int, int]]]] = set()
+        self.collection_help: Set[Tuple[int, int]] = set()
+        self.wait = False
+        self.val: Optional[int] = None
+        self.proposal: Optional[int] = None
+        self.cnt = 0
+        self.cnt_help = 0
+        # instrumentation for the Figure 1 reproduction
+        self.branch: Optional[str] = None
+        self.branch_history: list = []
+        self.iuc = self.make_consensus(name="iuc", on_decide=self._on_iuc_decide)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _record_branch(self, branch: str) -> None:
+        if self.branch is None:
+            self.branch = branch
+        self.branch_history.append(branch)
+
+    def backup_set(self) -> Set[int]:
+        """``B_P``: the backup processes of this process."""
+        if self.pid <= self.f:
+            return {p for p in range(1, self.f + 2) if p != self.pid}
+        return set(range(1, self.f + 1))
+
+    def _all_votes_from(self, collections) -> Optional[Dict[int, int]]:
+        """Extract one vote per process from a union of backed-up collections."""
+        votes: Dict[int, int] = {}
+        for pid, vote in collections:
+            votes.setdefault(pid, vote)
+        if all(pid in votes for pid in self.all_pids()):
+            return votes
+        return None
+
+    def _full_backups(self, required_senders, required_full, required_partial=None):
+        """Check the "f correct acknowledgements" condition of Figure 1.
+
+        ``required_senders`` must all appear in ``collection1``; senders in
+        ``required_full`` must have backed up every process' vote; senders in
+        ``required_partial`` (P_{f+1}'s acknowledgement to the first ``f``
+        processes) must cover at least ``{P1..Pf}``.
+        """
+        required_partial = required_partial or set()
+        by_sender: Dict[int, Set[Tuple[int, int]]] = {}
+        for sender, collection in self.collection1:
+            by_sender.setdefault(sender, set()).update(collection)
+        for sender in required_senders:
+            if sender not in by_sender:
+                return None
+        votes: Dict[int, int] = {}
+        for sender in required_full:
+            covered = {pid for pid, _ in by_sender[sender]}
+            if not set(self.all_pids()) <= covered:
+                return None
+            for pid, vote in by_sender[sender]:
+                votes.setdefault(pid, vote)
+        for sender in required_partial:
+            covered = {pid for pid, _ in by_sender[sender]}
+            if not set(range(1, self.f + 1)) <= covered:
+                return None
+            for pid, vote in by_sender[sender]:
+                votes.setdefault(pid, vote)
+        if not all(pid in votes for pid in self.all_pids()):
+            return None
+        return votes
+
+    def _cons_propose(self, value: int) -> None:
+        self.proposed = True
+        self.proposal = value
+        self.iuc.propose(value)
+
+    def _on_iuc_decide(self, value: Any) -> None:
+        if not self.decided:
+            self._record_branch(BRANCH_CONSENSUS_DECIDE)
+            self.decide_once(value)
+
+    # ------------------------------------------------------------------ #
+    # <inbac, Propose | v>
+    # ------------------------------------------------------------------ #
+    def on_propose(self, value: Any) -> None:
+        self.val = COMMIT if value else ABORT
+        self.vote = self.val
+        if self.fast_abort and self.val == ABORT:
+            # Section 5.2 remark: a process voting 0 may tell everyone and
+            # decide immediately; receivers decide 0 on receipt.
+            for q in self.other_pids():
+                self.send(q, ("V0",))
+            self._record_branch(BRANCH_FAST_ABORT)
+            self.decide_once(ABORT)
+            # it still participates as a backup so that others terminate
+        for q in self.first_f():
+            self.send(q, ("V", self.val))
+        if 1 <= self.pid <= self.f:
+            self.send(self.f + 1, ("V", self.val))
+        if 1 <= self.pid <= self.f + 1:
+            self.set_timer(1)
+        else:
+            self.set_timer(2)
+            self.phase = 1
+
+    # ------------------------------------------------------------------ #
+    # deliveries
+    # ------------------------------------------------------------------ #
+    def on_deliver(self, src: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "V" and self.phase == 0:
+            self.collection0.add((src, payload[1]))
+        elif kind == "V0" and self.fast_abort:
+            if not self.decided:
+                self._record_branch(BRANCH_FAST_ABORT)
+                self.decide_once(ABORT)
+        elif kind == "C":
+            self.collection1.add((src, payload[1]))
+            self.cnt += 1
+            self._maybe_finish_help()
+        elif kind == "HELP" and self.phase == 2 and self.pid >= self.f + 1:
+            self.send(src, ("HELPED", frozenset(self.collection0)))
+        elif kind == "HELPED" and self.pid >= self.f + 1:
+            self.collection_help.update(payload[1])
+            self.cnt_help += 1
+            self._maybe_finish_help()
+
+    # ------------------------------------------------------------------ #
+    # timeouts
+    # ------------------------------------------------------------------ #
+    def on_timeout(self, name: str) -> None:
+        if name != "timer":
+            return
+        if self.phase == 0:
+            self._phase0_timeout()
+        elif self.phase == 1 and not self.decided and not self.proposed:
+            if self.pid >= self.f + 1:
+                self._phase1_timeout_outsider()
+            else:
+                self._phase1_timeout_backup()
+
+    def _phase0_timeout(self) -> None:
+        """At time U the backup processes acknowledge the votes they back up."""
+        if 1 <= self.pid <= self.f:
+            for q in self.all_pids():
+                self.send(q, ("C", frozenset(self.collection0)))
+        elif self.pid == self.f + 1:
+            for q in self.first_f():
+                self.send(q, ("C", frozenset(self.collection0)))
+        self.phase = 1
+        self.set_timer(2)
+
+    # -- processes P_{f+1} .. P_n ---------------------------------------- #
+    def _phase1_timeout_outsider(self) -> None:
+        self.phase = 2
+        collection_val = set()
+        for _, c in self.collection1:
+            collection_val.update(c)
+        self.collection0 = self.collection0 | collection_val | {(self.pid, self.val)}
+        votes = self._full_backups(
+            required_senders=set(self.first_f()),
+            required_full=set(self.first_f()),
+        )
+        if votes is not None:
+            self._record_branch(BRANCH_FAST_DECIDE)
+            self.decide_once(logical_and(votes.values()))
+            return
+        if self.cnt >= 1:
+            union = set()
+            for _, c in self.collection1:
+                union.update(c)
+            all_votes = self._all_votes_from(union)
+            if all_votes is not None:
+                self._record_branch(BRANCH_CONS_AND)
+                self._cons_propose(logical_and(all_votes.values()))
+            else:
+                self._record_branch(BRANCH_CONS_ZERO)
+                self._cons_propose(ABORT)
+            return
+        # no acknowledgement from any backup process: ask for more acks
+        self._record_branch(BRANCH_ASK_HELP)
+        self.wait = True
+        for q in self.beyond_f():
+            self.send(q, ("HELP",))
+
+    def _maybe_finish_help(self) -> None:
+        """The "wait until >= n - f messages" transition of Figure 1."""
+        if not (
+            self.wait
+            and not self.proposed
+            and not self.decided
+            and self.pid >= self.f + 1
+            and self.cnt + self.cnt_help >= self.n - self.f
+        ):
+            return
+        self.wait = False
+        votes = self._full_backups(
+            required_senders=set(self.first_f()),
+            required_full=set(self.first_f()),
+        )
+        if votes is not None:
+            self._record_branch(BRANCH_HELPED_FAST)
+            self.decide_once(logical_and(votes.values()))
+            return
+        if self.cnt >= 1:
+            union = set()
+            for _, c in self.collection1:
+                union.update(c)
+            all_votes = self._all_votes_from(union)
+            if all_votes is not None:
+                self._record_branch(BRANCH_HELPED_CONS_AND)
+                self._cons_propose(logical_and(all_votes.values()))
+            else:
+                self._record_branch(BRANCH_HELPED_CONS_ZERO)
+                self._cons_propose(ABORT)
+            return
+        help_votes = self._all_votes_from(self.collection_help)
+        if help_votes is not None:
+            self._record_branch(BRANCH_HELPED_CONS_AND)
+            self._cons_propose(logical_and(help_votes.values()))
+        else:
+            self._record_branch(BRANCH_HELPED_CONS_ZERO)
+            self._cons_propose(ABORT)
+
+    # -- processes P_1 .. P_f --------------------------------------------- #
+    def _phase1_timeout_backup(self) -> None:
+        votes = self._full_backups(
+            required_senders=set(range(1, self.f + 2)),
+            required_full=set(self.first_f()),
+            required_partial={self.f + 1},
+        )
+        if votes is not None:
+            self._record_branch(BRANCH_FAST_DECIDE)
+            self.decide_once(logical_and(votes.values()))
+            return
+        union = set()
+        for _, c in self.collection1:
+            union.update(c)
+        all_votes = self._all_votes_from(union)
+        if all_votes is not None:
+            self._record_branch(BRANCH_CONS_AND)
+            self._cons_propose(logical_and(all_votes.values()))
+        else:
+            self._record_branch(BRANCH_CONS_ZERO)
+            self._cons_propose(ABORT)

@@ -1,0 +1,188 @@
+"""Fault plans: crash schedules and message-delay overrides.
+
+The paper distinguishes three classes of executions (Section 2.2):
+
+* **failure-free** — no crash, every message delay is at most ``U``;
+* **crash-failure** — some process crashes, delays still bounded by ``U``
+  (an execution of a *synchronous* system);
+* **network-failure** — some message delay exceeds ``U`` (an execution of an
+  *eventually synchronous* system), possibly in addition to crashes.
+
+A :class:`FaultPlan` describes which failures occur in a particular run and is
+installed into the simulation before it starts.  It can also classify itself
+into one of the three classes, which the property checker uses to decide which
+properties (agreement / validity / termination) the protocol under test is
+required to satisfy for the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: sentinel delay used for "arrives later than every decision" constructions
+FAR_FUTURE = 10_000.0
+
+
+@dataclass
+class DelayRule:
+    """Overrides the transmission delay of the messages it matches.
+
+    A rule matches a message if every specified criterion matches; ``None``
+    criteria are wildcards.  ``predicate`` receives the payload and can match
+    on protocol-level content (e.g. only ``[C, ...]`` acknowledgements).
+
+    Exactly one of ``delay`` (absolute transmission delay) or ``extra`` (added
+    on top of the model's nominal delay) must be provided.
+    """
+
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    after_time: Optional[float] = None
+    before_time: Optional[float] = None
+    predicate: Optional[Callable[[object], bool]] = None
+    delay: Optional[float] = None
+    extra: Optional[float] = None
+    #: if set, the rule only applies to the k-th matching message (0-based)
+    nth_match: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.delay is None) == (self.extra is None):
+            raise ConfigurationError("DelayRule needs exactly one of delay= or extra=")
+        self._matches_seen = 0
+
+    def apply(
+        self,
+        src: int,
+        dst: int,
+        payload: object,
+        send_time: float,
+        msg_index: int,
+        nominal: float,
+    ) -> Optional[float]:
+        """Return the overridden transmission delay, or ``None`` if no match.
+
+        ``nominal`` is the delay the network's delay model would have assigned;
+        rules with ``extra`` add on top of it, rules with ``delay`` replace it.
+        """
+        if self.src is not None and src != self.src:
+            return None
+        if self.dst is not None and dst != self.dst:
+            return None
+        if self.after_time is not None and send_time < self.after_time:
+            return None
+        if self.before_time is not None and send_time >= self.before_time:
+            return None
+        if self.predicate is not None and not self.predicate(payload):
+            return None
+        matched_index = self._matches_seen
+        self._matches_seen += 1
+        if self.nth_match is not None and matched_index != self.nth_match:
+            return None
+        if self.delay is not None:
+            return self.delay
+        return nominal + (self.extra or 0.0)
+
+    def is_network_failure(self, u: float) -> bool:
+        """Whether this rule can delay a message beyond the bound ``u``."""
+        if self.delay is not None:
+            return self.delay > u
+        return (self.extra or 0.0) > 0.0
+
+
+@dataclass
+class FaultPlan:
+    """All failures injected into one execution.
+
+    Attributes
+    ----------
+    crashes:
+        Mapping process id -> crash time.  A process crashed at time ``t``
+        handles no event scheduled at or after ``t`` and sends nothing.
+    delay_rules:
+        Message-delay overrides (see :class:`DelayRule`).
+    """
+
+    crashes: Dict[int, float] = field(default_factory=dict)
+    delay_rules: List[DelayRule] = field(default_factory=list)
+    description: str = ""
+
+    # ------------------------------------------------------------------ #
+    # constructors for the three execution classes
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def failure_free(cls) -> "FaultPlan":
+        """No crash, no delay override: a failure-free execution."""
+        return cls(description="failure-free")
+
+    @classmethod
+    def crash(cls, pid: int, at: float = 0.0) -> "FaultPlan":
+        """A single crash at time ``at`` (a crash-failure execution)."""
+        return cls(crashes={pid: at}, description=f"crash P{pid}@{at}")
+
+    @classmethod
+    def crashes_at(cls, schedule: Dict[int, float]) -> "FaultPlan":
+        """Multiple crashes (still a crash-failure execution)."""
+        return cls(crashes=dict(schedule), description=f"crashes {schedule}")
+
+    @classmethod
+    def delay_messages(
+        cls,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        delay: float = FAR_FUTURE,
+        after_time: Optional[float] = None,
+        predicate: Optional[Callable[[object], bool]] = None,
+    ) -> "FaultPlan":
+        """Delay matching messages beyond the bound: a network-failure execution."""
+        rule = DelayRule(
+            src=src, dst=dst, delay=delay, after_time=after_time, predicate=predicate
+        )
+        return cls(delay_rules=[rule], description="delayed messages")
+
+    # ------------------------------------------------------------------ #
+    # composition and classification
+    # ------------------------------------------------------------------ #
+    def merged_with(self, other: "FaultPlan") -> "FaultPlan":
+        """Combine two fault plans (crashes and delay rules of both apply)."""
+        crashes = dict(self.crashes)
+        for pid, t in other.crashes.items():
+            crashes[pid] = min(t, crashes.get(pid, t))
+        return FaultPlan(
+            crashes=crashes,
+            delay_rules=list(self.delay_rules) + list(other.delay_rules),
+            description=f"{self.description} + {other.description}".strip(" +"),
+        )
+
+    def crash_count(self) -> int:
+        return len(self.crashes)
+
+    def is_failure_free(self) -> bool:
+        return not self.crashes and not self.delay_rules
+
+    def is_network_failure(self, u: float) -> bool:
+        """Whether some rule can push a delay beyond the bound ``u``."""
+        return any(rule.is_network_failure(u) for rule in self.delay_rules)
+
+    def is_crash_failure(self, u: float) -> bool:
+        """Crashes only, all delays within the bound."""
+        return bool(self.crashes) and not self.is_network_failure(u)
+
+    def execution_class(self, u: float) -> str:
+        """Classify the execution: ``failure-free`` / ``crash-failure`` / ``network-failure``."""
+        if self.is_network_failure(u):
+            return "network-failure"
+        if self.crashes:
+            return "crash-failure"
+        return "failure-free"
+
+    def validate(self, n: int, f: int) -> None:
+        """Sanity-check the plan against the system parameters."""
+        if any(pid < 1 or pid > n for pid in self.crashes):
+            raise ConfigurationError(f"crash schedule references unknown process: {self.crashes}")
+        if len(self.crashes) > f:
+            raise ConfigurationError(
+                f"fault plan crashes {len(self.crashes)} processes but f={f}"
+            )

@@ -1,0 +1,169 @@
+"""Network substrate: perfect point-to-point links and delay models.
+
+The paper's channels "do not modify, inject, duplicate or lose messages; every
+message sent is eventually received".  The network therefore never drops a
+message: all non-determinism lives in the *delay* assigned to each message.
+
+A **crash-failure** (synchronous) execution is one where every delay is at
+most the known bound ``U``.  A **network-failure** (eventually synchronous)
+execution may delay some messages beyond ``U`` — those delays are injected by
+:class:`~repro.sim.faults.DelayRule` overrides carried by the fault plan, or
+by an :class:`AdversarialDelay` model.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+from repro.errors import ConfigurationError
+
+
+class DelayModel(Protocol):
+    """Assigns a transmission delay to each message.
+
+    Implementations must be deterministic given their own state (seeded RNGs)
+    so that simulations are reproducible.
+    """
+
+    def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
+        """Return the transmission delay (virtual time) for one message."""
+        ...  # pragma: no cover - protocol definition
+
+    def bound(self) -> float:
+        """Return the known upper bound ``U`` assumed by the protocols."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class FixedDelay:
+    """Every message takes exactly ``u`` time units.
+
+    This is the delay model used for all best-case (nice execution) complexity
+    measurements: the paper's message-delay metric assumes "every message is
+    received exactly one unit of time after it was sent".
+    """
+
+    u: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.u <= 0:
+            raise ConfigurationError(f"delay bound must be positive, got {self.u}")
+
+    def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
+        return self.u
+
+    def bound(self) -> float:
+        return self.u
+
+
+class UniformDelay:
+    """Delays drawn uniformly from ``[lo, hi]`` with ``hi <= u`` by default.
+
+    Used by the database benchmarks to exercise protocols under realistic,
+    non-degenerate timing while remaining within the synchronous bound.
+    """
+
+    def __init__(self, lo: float, hi: float, u: Optional[float] = None, seed: int = 0):
+        if lo <= 0 or hi < lo:
+            raise ConfigurationError(f"invalid uniform delay range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self.u = u if u is not None else hi
+        if self.u < hi:
+            raise ConfigurationError("bound u must be >= hi for a synchronous model")
+        self._rng = random.Random(seed)
+
+    def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
+        return self._rng.uniform(self.lo, self.hi)
+
+    def bound(self) -> float:
+        return self.u
+
+
+class LognormalDelay:
+    """Heavy-tailed delays clipped at the synchronous bound ``u``.
+
+    Approximates the wide-area round-trip distributions reported by Bakr and
+    Keidar [34] ("synchronous most of the time"): most samples are far below
+    the bound, occasional samples approach it.
+    """
+
+    def __init__(self, median: float, sigma: float, u: float, seed: int = 0):
+        if median <= 0 or sigma < 0 or u <= median:
+            raise ConfigurationError(
+                f"invalid lognormal parameters median={median}, sigma={sigma}, u={u}"
+            )
+        self.median = median
+        self.sigma = sigma
+        self.u = u
+        self._rng = random.Random(seed)
+
+    def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
+        sample = self.median * math.exp(self._rng.gauss(0.0, self.sigma))
+        return min(sample, self.u)
+
+    def bound(self) -> float:
+        return self.u
+
+
+class AdversarialDelay:
+    """Delegates to a user-supplied function; used to build worst cases.
+
+    The function may return delays larger than ``u``, which turns the
+    execution into a network-failure execution.  The lower-bound replay tests
+    use this model to reconstruct the indistinguishable executions from the
+    paper's proofs (e.g. ``E_async`` in Lemma 1).
+    """
+
+    def __init__(self, fn: Callable[[int, int, object, float], float], u: float = 1.0):
+        self.fn = fn
+        self.u = u
+
+    def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
+        d = self.fn(src, dst, payload, send_time)
+        if d <= 0:
+            raise ConfigurationError(f"adversarial delay must be positive, got {d}")
+        return d
+
+    def bound(self) -> float:
+        return self.u
+
+
+class Network:
+    """Perfect point-to-point links parameterised by a delay model.
+
+    The network does not know about crashes: a crashed *sender* never invokes
+    ``transit_delay`` (the scheduler suppresses its sends), and a message sent
+    to a crashed *destination* is still "delivered" by the scheduler but the
+    destination, being crashed, ignores it.  This mirrors the paper's model in
+    which channels are reliable and failures are purely process- or
+    timing-related.
+    """
+
+    def __init__(self, delay_model: Optional[DelayModel] = None):
+        self.delay_model = delay_model if delay_model is not None else FixedDelay(1.0)
+        #: delay overrides installed by the fault plan, consulted first
+        self._overrides: list = []
+
+    @property
+    def u(self) -> float:
+        """The known upper bound on message transmission delay."""
+        return self.delay_model.bound()
+
+    def install_overrides(self, rules: list) -> None:
+        """Install :class:`~repro.sim.faults.DelayRule` overrides."""
+        self._overrides = list(rules)
+
+    def transit_delay(
+        self, src: int, dst: int, payload: object, send_time: float, msg_index: int
+    ) -> float:
+        """Compute the delay for a message, applying fault-plan overrides."""
+        nominal = self.delay_model.delay(src, dst, payload, send_time)
+        for rule in self._overrides:
+            override = rule.apply(src, dst, payload, send_time, msg_index, nominal)
+            if override is not None:
+                return override
+        return nominal

@@ -1,0 +1,413 @@
+"""The discrete-event scheduler and the protocol-level simulation driver.
+
+Two layers:
+
+* :class:`Scheduler` — the generic event loop: an event heap, the network, the
+  per-process environments, crash injection and the trace recorder.  The
+  database cluster (:mod:`repro.db.cluster`) drives this layer directly.
+* :class:`Simulation` — the protocol-level driver used for all complexity
+  experiments: it instantiates one protocol process per id, injects the votes
+  as ``Propose`` events at time 0, runs the loop and returns a
+  :class:`SimulationResult` bundling the trace with the process objects (so
+  tests can inspect internal state such as INBAC's branch log).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError, ProtocolViolationError, SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import (
+    PRIORITY_CONTROL,
+    PRIORITY_CRASH,
+    PRIORITY_DELIVERY,
+    PRIORITY_PROPOSE,
+    PRIORITY_TIMER,
+    ControlEvent,
+    CrashEvent,
+    Event,
+    MessageDeliveryEvent,
+    ProposeEvent,
+    TimerEvent,
+)
+from repro.sim.faults import FaultPlan
+from repro.sim.network import DelayModel, FixedDelay, Network
+from repro.sim.process import Process
+from repro.sim.trace import Trace
+
+ProcessFactory = Callable[[int, int, int, "SimEnv"], Process]
+
+
+class SimEnv:
+    """The :class:`~repro.sim.process.ProcessEnv` provided by the scheduler."""
+
+    def __init__(self, scheduler: "Scheduler", pid: int):
+        self._scheduler = scheduler
+        self.pid = pid
+        self.random = random.Random(scheduler.seed * 1_000_003 + pid)
+
+    # -- ProcessEnv interface ------------------------------------------- #
+    def send(self, dst: int, payload: Any, module: str = "main") -> None:
+        self._scheduler.post_message(self.pid, dst, payload, module=module)
+
+    def set_timer(self, at_units: float, name: str = "timer") -> None:
+        self._scheduler.set_timer(self.pid, at_units, name)
+
+    def cancel_timer(self, name: str = "timer") -> None:
+        self._scheduler.cancel_timer(self.pid, name)
+
+    def decide(self, value: Any) -> None:
+        self._scheduler.record_decision(self.pid, value)
+
+    def now(self) -> float:
+        return self._scheduler.clock.time_to_units(self._scheduler.clock.now)
+
+
+class Scheduler:
+    """Deterministic event loop shared by the protocol and database drivers."""
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        delay_model: Optional[DelayModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+        max_time: float = 500.0,
+        protocol_name: str = "",
+    ):
+        if n < 2:
+            raise ConfigurationError(f"need at least 2 processes, got n={n}")
+        if not 1 <= f <= n - 1:
+            raise ConfigurationError(f"f must satisfy 1 <= f <= n-1, got f={f}, n={n}")
+        self.n = n
+        self.f = f
+        self.seed = seed
+        self.max_time = max_time
+        self.clock = VirtualClock(unit=1.0)
+        self.network = Network(delay_model or FixedDelay(1.0))
+        self.fault_plan = fault_plan or FaultPlan.failure_free()
+        self.fault_plan.validate(n, f)
+        self.network.install_overrides(self.fault_plan.delay_rules)
+        self.trace = Trace(n=n, f=f, u=self.network.u, protocol=protocol_name)
+        self.processes: Dict[int, Process] = {}
+        self.envs: Dict[int, SimEnv] = {pid: SimEnv(self, pid) for pid in range(1, n + 1)}
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._msg_counter = 0
+        self._timer_generation: Dict[tuple, int] = {}
+        self._stopped = False
+        self._stop_predicate: Optional[Callable[["Scheduler"], bool]] = None
+        # schedule crashes up front
+        for pid, at in self.fault_plan.crashes.items():
+            self._push(CrashEvent(time=at, priority=PRIORITY_CRASH, seq=self._next_seq(), pid=pid))
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def bind_processes(self, factory: ProcessFactory) -> None:
+        """Create one process per id using ``factory(pid, n, f, env)``."""
+        for pid in range(1, self.n + 1):
+            self.processes[pid] = factory(pid, self.n, self.f, self.envs[pid])
+
+    def bind_process(self, pid: int, process: Process) -> None:
+        self.processes[pid] = process
+
+    def env_for(self, pid: int) -> SimEnv:
+        return self.envs[pid]
+
+    # ------------------------------------------------------------------ #
+    # event production
+    # ------------------------------------------------------------------ #
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.sort_key(), event))
+
+    def post_propose(self, pid: int, value: Any, at: float = 0.0) -> None:
+        self._push(
+            ProposeEvent(time=at, priority=PRIORITY_PROPOSE, seq=self._next_seq(), pid=pid, value=value)
+        )
+
+    def post_control(self, pid: int, action: Any, payload: Any = None, at: float = 0.0) -> None:
+        """Schedule an arbitrary callback delivered to the driver (not a process)."""
+        self._push(
+            ControlEvent(
+                time=at,
+                priority=PRIORITY_CONTROL,
+                seq=self._next_seq(),
+                pid=pid,
+                action=action,
+                payload=payload,
+            )
+        )
+
+    def post_message(self, src: int, dst: int, payload: Any, module: str = "main") -> None:
+        """Send a message; called (indirectly) by processes through their env."""
+        if dst < 1 or dst > self.n:
+            raise SimulationError(f"message to unknown process P{dst}")
+        send_time = self.clock.now
+        self._msg_counter += 1
+        msg_id = self._msg_counter
+        if src == dst:
+            # Local "message to self": arrives immediately, not counted
+            # (footnote 10 of the paper).
+            recv_time = send_time
+            counted = False
+        else:
+            delay = self.network.transit_delay(src, dst, payload, send_time, msg_id)
+            recv_time = send_time + delay
+            counted = True
+        self.trace.record_send(
+            msg_id=msg_id,
+            src=src,
+            dst=dst,
+            payload=payload,
+            send_time=send_time,
+            recv_time=recv_time,
+            counted=counted,
+            module=module,
+        )
+        self._push(
+            MessageDeliveryEvent(
+                time=recv_time,
+                priority=PRIORITY_DELIVERY,
+                seq=self._next_seq(),
+                src=src,
+                dst=dst,
+                payload=payload,
+                send_time=send_time,
+                msg_id=msg_id,
+            )
+        )
+
+    def set_timer(self, pid: int, at_units: float, name: str) -> None:
+        """Arm (or re-arm) the named timer; re-arming supersedes the pending fire."""
+        key = (pid, name)
+        generation = self._timer_generation.get(key, 0) + 1
+        self._timer_generation[key] = generation
+        fire_time = max(self.clock.now, self.clock.units_to_time(at_units))
+        self._push(
+            TimerEvent(
+                time=fire_time,
+                priority=PRIORITY_TIMER,
+                seq=self._next_seq(),
+                pid=pid,
+                name=name,
+                generation=generation,
+                deadline_units=at_units,
+            )
+        )
+
+    def cancel_timer(self, pid: int, name: str) -> None:
+        key = (pid, name)
+        self._timer_generation[key] = self._timer_generation.get(key, 0) + 1
+
+    def record_decision(self, pid: int, value: Any) -> None:
+        if pid in self.trace.decisions:
+            raise ProtocolViolationError(
+                f"P{pid} attempted to decide twice (integrity violation)"
+            )
+        self.trace.record_decision(pid, value, self.clock.time_to_units(self.clock.now))
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def set_stop_predicate(self, predicate: Optional[Callable[["Scheduler"], bool]]) -> None:
+        self._stop_predicate = predicate
+
+    def run(self) -> Trace:
+        """Process events until the queue drains, max_time passes, or stop fires."""
+        while self._heap:
+            _, event = heapq.heappop(self._heap)
+            if event.time > self.max_time:
+                break
+            self.clock.advance_to(event.time)
+            self._dispatch(event)
+            if self._stopped:
+                break
+            if self._stop_predicate is not None and self._stop_predicate(self):
+                break
+        self.trace.end_time = self.clock.time_to_units(self.clock.now)
+        return self.trace
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _dispatch(self, event: Event) -> None:
+        if isinstance(event, CrashEvent):
+            process = self.processes.get(event.pid)
+            if process is not None and not process.crashed:
+                process.crashed = True
+                process.on_crash()
+            self.trace.record_crash(event.pid, self.clock.time_to_units(event.time))
+            return
+        if isinstance(event, ControlEvent):
+            if callable(event.action):
+                event.action(self, event)
+            return
+        process = self.processes.get(getattr(event, "pid", getattr(event, "dst", -1)))
+        if process is None or process.crashed:
+            return
+        if isinstance(event, ProposeEvent):
+            self.trace.record_proposal(
+                event.pid, event.value, self.clock.time_to_units(event.time)
+            )
+            process.on_propose(event.value)
+        elif isinstance(event, MessageDeliveryEvent):
+            for record in reversed(self.trace.messages):
+                if record.msg_id == event.msg_id:
+                    record.delivered = True
+                    break
+            process.deliver(event.src, event.payload)
+        elif isinstance(event, TimerEvent):
+            key = (event.pid, event.name)
+            if self._timer_generation.get(key, 0) != event.generation:
+                return  # superseded or cancelled
+            self.trace.record_timer(event.pid, event.name, self.clock.time_to_units(event.time))
+            process.timeout(event.name)
+
+
+@dataclass
+class SimulationResult:
+    """Trace plus the live process objects of one simulated execution."""
+
+    trace: Trace
+    processes: Dict[int, Process] = field(default_factory=dict)
+
+    def process(self, pid: int) -> Process:
+        return self.processes[pid]
+
+    def decisions(self) -> Dict[int, Any]:
+        return {pid: rec.value for pid, rec in self.trace.decisions.items()}
+
+
+class Simulation:
+    """Protocol-level driver: one protocol instance, one set of votes, one run.
+
+    Example
+    -------
+    >>> from repro.protocols import TwoPhaseCommit
+    >>> sim = Simulation(n=4, f=1, process_class=TwoPhaseCommit)
+    >>> result = sim.run(votes=[1, 1, 1, 1])
+    >>> result.decisions()
+    {1: 1, 2: 1, 3: 1, 4: 1}
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        process_class: Optional[type] = None,
+        process_factory: Optional[ProcessFactory] = None,
+        delay_model: Optional[DelayModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+        max_time: float = 500.0,
+        stop_when_all_correct_decided: bool = True,
+        protocol_kwargs: Optional[Dict[str, Any]] = None,
+    ):
+        if (process_class is None) == (process_factory is None):
+            raise ConfigurationError(
+                "provide exactly one of process_class= or process_factory="
+            )
+        self.n = n
+        self.f = f
+        self._process_class = process_class
+        self._process_factory = process_factory
+        self._protocol_kwargs = dict(protocol_kwargs or {})
+        self._delay_model = delay_model
+        self._fault_plan = fault_plan
+        self._seed = seed
+        self._max_time = max_time
+        self._stop_when_decided = stop_when_all_correct_decided
+
+    def _make_factory(self) -> ProcessFactory:
+        if self._process_factory is not None:
+            return self._process_factory
+        cls = self._process_class
+
+        def factory(pid: int, n: int, f: int, env: SimEnv) -> Process:
+            return cls(pid, n, f, env, **self._protocol_kwargs)
+
+        return factory
+
+    def run(self, votes: Union[Sequence[Any], Dict[int, Any]]) -> SimulationResult:
+        """Run one execution with the given per-process votes."""
+        if isinstance(votes, dict):
+            vote_map = dict(votes)
+        else:
+            if len(votes) != self.n:
+                raise ConfigurationError(
+                    f"expected {self.n} votes, got {len(votes)}"
+                )
+            vote_map = {pid: votes[pid - 1] for pid in range(1, self.n + 1)}
+
+        protocol_name = (
+            self._process_class.__name__ if self._process_class is not None else "custom"
+        )
+        scheduler = Scheduler(
+            n=self.n,
+            f=self.f,
+            delay_model=self._delay_model,
+            fault_plan=self._fault_plan,
+            seed=self._seed,
+            max_time=self._max_time,
+            protocol_name=protocol_name,
+        )
+        scheduler.bind_processes(self._make_factory())
+        for pid in range(1, self.n + 1):
+            scheduler.processes[pid].on_start()
+        for pid, vote in vote_map.items():
+            scheduler.post_propose(pid, vote, at=0.0)
+
+        if self._stop_when_decided:
+            correct = [
+                pid
+                for pid in range(1, self.n + 1)
+                if pid not in scheduler.fault_plan.crashes
+            ]
+
+            def all_correct_decided(s: Scheduler) -> bool:
+                return all(pid in s.trace.decisions for pid in correct)
+
+            scheduler.set_stop_predicate(all_correct_decided)
+
+        trace = scheduler.run()
+        trace.metadata["fault_plan"] = scheduler.fault_plan.description
+        trace.metadata["execution_class"] = scheduler.fault_plan.execution_class(
+            scheduler.network.u
+        )
+        trace.metadata["votes"] = vote_map
+        return SimulationResult(trace=trace, processes=scheduler.processes)
+
+
+def run_nice_execution(
+    process_class: type,
+    n: int,
+    f: int,
+    protocol_kwargs: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+) -> SimulationResult:
+    """Convenience helper: run the protocol's *nice execution*.
+
+    A nice execution is failure-free, every process votes 1, and every message
+    takes exactly one message delay ``U`` — the setting in which the paper
+    measures best-case complexity.
+    """
+    sim = Simulation(
+        n=n,
+        f=f,
+        process_class=process_class,
+        delay_model=FixedDelay(1.0),
+        fault_plan=FaultPlan.failure_free(),
+        seed=seed,
+        protocol_kwargs=protocol_kwargs,
+    )
+    return sim.run(votes=[1] * n)

@@ -1,0 +1,245 @@
+"""Execution traces: the raw material for every complexity measurement.
+
+A :class:`Trace` records every message send/receive, every decision, every
+crash and every timer expiry of one simulated execution.  All the paper's
+metrics — number of messages exchanged, number of message delays, which
+properties hold — are *derived* from the trace after the run, never tracked
+inside protocol code.  This keeps protocol implementations close to the
+paper's pseudocode and makes the metrics auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class MessageRecord:
+    """One message transmitted over the network.
+
+    ``counted`` is False for messages a process "sends to itself": the paper
+    explicitly excludes them ("a message whose source and destination is the
+    same does not need to be sent over the network").
+    """
+
+    msg_id: int
+    src: int
+    dst: int
+    payload: Any
+    send_time: float
+    recv_time: float
+    counted: bool = True
+    module: str = "main"
+    delivered: bool = False
+
+
+@dataclass
+class DecisionRecord:
+    """A process' (single) decision."""
+
+    pid: int
+    value: Any
+    time: float
+
+
+@dataclass
+class ProposalRecord:
+    """The initial vote/proposal handed to a process."""
+
+    pid: int
+    value: Any
+    time: float
+
+
+@dataclass
+class TimerRecord:
+    """A timer expiry that was actually delivered to a process."""
+
+    pid: int
+    name: str
+    time: float
+
+
+@dataclass
+class Trace:
+    """Complete record of one execution."""
+
+    n: int = 0
+    f: int = 0
+    u: float = 1.0
+    protocol: str = ""
+    messages: List[MessageRecord] = field(default_factory=list)
+    decisions: Dict[int, DecisionRecord] = field(default_factory=dict)
+    proposals: Dict[int, ProposalRecord] = field(default_factory=dict)
+    crashes: Dict[int, float] = field(default_factory=dict)
+    timers: List[TimerRecord] = field(default_factory=list)
+    end_time: float = 0.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # recording (used by the scheduler)
+    # ------------------------------------------------------------------ #
+    def record_send(
+        self,
+        msg_id: int,
+        src: int,
+        dst: int,
+        payload: Any,
+        send_time: float,
+        recv_time: float,
+        counted: bool,
+        module: str = "main",
+    ) -> MessageRecord:
+        rec = MessageRecord(
+            msg_id=msg_id,
+            src=src,
+            dst=dst,
+            payload=payload,
+            send_time=send_time,
+            recv_time=recv_time,
+            counted=counted,
+            module=module,
+        )
+        self.messages.append(rec)
+        return rec
+
+    def record_decision(self, pid: int, value: Any, time: float) -> None:
+        self.decisions[pid] = DecisionRecord(pid=pid, value=value, time=time)
+
+    def record_proposal(self, pid: int, value: Any, time: float) -> None:
+        self.proposals[pid] = ProposalRecord(pid=pid, value=value, time=time)
+
+    def record_crash(self, pid: int, time: float) -> None:
+        self.crashes[pid] = time
+
+    def record_timer(self, pid: int, name: str, time: float) -> None:
+        self.timers.append(TimerRecord(pid=pid, name=name, time=time))
+
+    # ------------------------------------------------------------------ #
+    # queries (used by metrics and the property checker)
+    # ------------------------------------------------------------------ #
+    def correct_pids(self) -> List[int]:
+        """Processes that never crash in this execution."""
+        return [pid for pid in range(1, self.n + 1) if pid not in self.crashes]
+
+    def decided_pids(self) -> List[int]:
+        return sorted(self.decisions)
+
+    def decision_values(self) -> List[Any]:
+        return [self.decisions[p].value for p in sorted(self.decisions)]
+
+    def votes(self) -> Dict[int, Any]:
+        return {pid: rec.value for pid, rec in self.proposals.items()}
+
+    def last_decision_time(self) -> Optional[float]:
+        if not self.decisions:
+            return None
+        return max(rec.time for rec in self.decisions.values())
+
+    def first_decision_time(self) -> Optional[float]:
+        if not self.decisions:
+            return None
+        return min(rec.time for rec in self.decisions.values())
+
+    def counted_messages(self, module: Optional[str] = None) -> List[MessageRecord]:
+        """Messages that count towards the paper's message complexity."""
+        records = [m for m in self.messages if m.counted]
+        if module is not None:
+            records = [m for m in records if m.module == module]
+        return records
+
+    def message_count(self, module: Optional[str] = None) -> int:
+        return len(self.counted_messages(module))
+
+    def messages_received_by(self, deadline: float, module: Optional[str] = None) -> int:
+        """Messages whose *reception* happens at or before ``deadline``.
+
+        This is the accounting the paper uses when counting the messages of a
+        nice execution: messages still in flight when the last process decides
+        (e.g. 1NBAC's ``[D, d]`` round) are not charged to the best case.
+        """
+        return sum(
+            1 for m in self.counted_messages(module) if m.recv_time <= deadline + 1e-9
+        )
+
+    def messages_sent_by(self, deadline: float, module: Optional[str] = None) -> int:
+        return sum(
+            1 for m in self.counted_messages(module) if m.send_time <= deadline + 1e-9
+        )
+
+    def messages_by_kind(self) -> Dict[str, int]:
+        """Histogram of counted messages by their payload "kind" tag.
+
+        Payloads produced by the protocol implementations are tuples whose
+        first element is a short tag (``"V"``, ``"C"``, ``"HELP"``, ...); any
+        other payload is grouped under ``"other"``.
+        """
+        histogram: Dict[str, int] = {}
+        for record in self.counted_messages():
+            payload = record.payload
+            if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+                kind = payload[0]
+            else:
+                kind = "other"
+            histogram[kind] = histogram.get(kind, 0) + 1
+        return histogram
+
+    def sends_by_process(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {pid: 0 for pid in range(1, self.n + 1)}
+        for m in self.counted_messages():
+            counts[m.src] = counts.get(m.src, 0) + 1
+        return counts
+
+    def all_decided_same(self) -> bool:
+        values = {rec.value for rec in self.decisions.values()}
+        return len(values) <= 1
+
+    def decision_of(self, pid: int) -> Optional[Any]:
+        rec = self.decisions.get(pid)
+        return None if rec is None else rec.value
+
+    def causal_depth(self) -> int:
+        """Length of the longest chain of causally ordered counted messages.
+
+        A chain ``m1, ..., ml`` is causal when each ``m_{i+1}`` leaves its
+        source no earlier than ``m_i`` arrived there (Definition 2 in the
+        paper).  This is an alternative, time-free view of "message delays".
+        """
+        messages = sorted(self.counted_messages(), key=lambda m: m.recv_time)
+        depth_at_arrival: Dict[int, List[Tuple[float, int]]] = {}
+        best = 0
+        for m in messages:
+            # longest chain ending with a message that arrived at m.src before m left
+            prior = depth_at_arrival.get(m.src, [])
+            inherited = 0
+            for arrival, depth in prior:
+                if arrival <= m.send_time + 1e-9:
+                    inherited = max(inherited, depth)
+            my_depth = inherited + 1
+            depth_at_arrival.setdefault(m.dst, []).append((m.recv_time, my_depth))
+            best = max(best, my_depth)
+        return best
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact dictionary used by benchmarks and examples for reporting."""
+        last = self.last_decision_time()
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "f": self.f,
+            "decided": len(self.decisions),
+            "decision_values": sorted({str(v) for v in self.decision_values()}),
+            "messages_total": self.message_count(),
+            "messages_until_last_decision": (
+                self.messages_received_by(last) if last is not None else 0
+            ),
+            "last_decision_time": last,
+            "crashes": dict(self.crashes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace(protocol={self.protocol!r}, n={self.n}, f={self.f}, "
+            f"messages={self.message_count()}, decided={len(self.decisions)})"
+        )

@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import pytest
+
+from repro.core.checker import check_nbac
+from repro.sim.faults import FaultPlan
+from repro.sim.network import DelayModel, FixedDelay
+from repro.sim.runner import Simulation, SimulationResult
+
+
+def run_protocol(
+    protocol_cls: type,
+    n: int,
+    f: int,
+    votes: Union[Sequence[int], Dict[int, int]],
+    fault_plan: Optional[FaultPlan] = None,
+    delay_model: Optional[DelayModel] = None,
+    max_time: float = 300.0,
+    protocol_kwargs: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+) -> SimulationResult:
+    """Run one execution of a protocol and return its result."""
+    sim = Simulation(
+        n=n,
+        f=f,
+        process_class=protocol_cls,
+        fault_plan=fault_plan,
+        delay_model=delay_model or FixedDelay(1.0),
+        max_time=max_time,
+        protocol_kwargs=protocol_kwargs,
+        seed=seed,
+    )
+    return sim.run(votes)
+
+
+def nbac_report(result: SimulationResult):
+    """Property report of one execution result."""
+    return check_nbac(result.trace)
+
+
+def assert_all_decided(result: SimulationResult, value: Optional[int] = None) -> None:
+    """Every correct process decided (optionally a specific value)."""
+    trace = result.trace
+    correct = trace.correct_pids()
+    decided = set(trace.decisions)
+    missing = [pid for pid in correct if pid not in decided]
+    assert not missing, f"correct processes did not decide: {missing}"
+    if value is not None:
+        wrong = {pid: rec.value for pid, rec in trace.decisions.items() if rec.value != value}
+        assert not wrong, f"unexpected decisions: {wrong}"
+
+
+def assert_agreement(result: SimulationResult) -> None:
+    values = {rec.value for rec in result.trace.decisions.values()}
+    assert len(values) <= 1, f"agreement violated: {result.trace.decisions}"
+
+
+@pytest.fixture
+def small_system():
+    """A small (n, f) pair used by many protocol tests."""
+    return 4, 1
+
+
+@pytest.fixture
+def medium_system():
+    """A medium (n, f) pair with f >= 2 (exercises the backup machinery)."""
+    return 5, 2

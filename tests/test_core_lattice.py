@@ -1,0 +1,135 @@
+"""Tests for the robustness lattice (repro.core.lattice)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lattice import (
+    ALL_PROPS,
+    Prop,
+    PropertyPair,
+    all_cells,
+    least_robust,
+    local_maxima,
+    prop_label,
+    robustness_leq,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPropAndLabels:
+    def test_three_properties(self):
+        assert {p.value for p in Prop} == {"A", "V", "T"}
+
+    def test_prop_label_empty_set(self):
+        assert prop_label(frozenset()) == "∅"
+
+    def test_prop_label_full_set(self):
+        assert prop_label(ALL_PROPS) == "AVT"
+
+    def test_prop_label_orders_canonically(self):
+        assert prop_label(frozenset({Prop.TERMINATION, Prop.AGREEMENT})) == "AT"
+
+
+class TestPropertyPairConstruction:
+    def test_of_accepts_strings(self):
+        pair = PropertyPair.of("AV", "A")
+        assert pair.cf == frozenset({Prop.AGREEMENT, Prop.VALIDITY})
+        assert pair.nf == frozenset({Prop.AGREEMENT})
+
+    def test_of_accepts_prop_iterables(self):
+        pair = PropertyPair.of([Prop.VALIDITY], [])
+        assert pair.cf == frozenset({Prop.VALIDITY})
+        assert pair.nf == frozenset()
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PropertyPair.of("AX", "")
+
+    def test_label(self):
+        assert PropertyPair.of("AVT", "V").label() == ("AVT", "V")
+
+    def test_named_problems(self):
+        indulgent = PropertyPair.indulgent_atomic_commit()
+        assert indulgent.cf == ALL_PROPS and indulgent.nf == ALL_PROPS
+        sync = PropertyPair.synchronous_nbac()
+        assert sync.cf == ALL_PROPS and sync.nf == frozenset()
+        weakest = PropertyPair.weakest()
+        assert weakest.cf == frozenset() and weakest.nf == frozenset()
+
+
+class TestCanonicalisation:
+    def test_canonical_iff_nf_subset_of_cf(self):
+        assert PropertyPair.of("AV", "A").is_canonical()
+        assert not PropertyPair.of("A", "AV").is_canonical()
+
+    def test_canonicalised_unions_nf_into_cf(self):
+        cell = PropertyPair.of("A", "V").canonicalised()
+        assert cell.cf == frozenset({Prop.AGREEMENT, Prop.VALIDITY})
+        assert cell.nf == frozenset({Prop.VALIDITY})
+        assert cell.is_canonical()
+
+    def test_canonicalised_is_identity_on_canonical_cells(self):
+        cell = PropertyPair.of("AVT", "AT")
+        assert cell.canonicalised() == cell
+
+
+class TestAllCells:
+    def test_exactly_27_cells(self):
+        # 64 syntactic pairs collapse to 27 problems (Section 1.1)
+        assert len(all_cells()) == 27
+
+    def test_all_cells_canonical_and_unique(self):
+        cells = all_cells()
+        assert all(cell.is_canonical() for cell in cells)
+        assert len(set(cells)) == 27
+
+    def test_cells_per_nf_row_match_the_paper_table(self):
+        # row ∅ has 8 non-empty cells, row A has 4, row V has 4, row T has 4,
+        # rows AV / AT / VT have 2 each, row AVT has 1 (Table 1)
+        rows = {}
+        for cell in all_cells():
+            rows.setdefault(prop_label(cell.nf), 0)
+            rows[prop_label(cell.nf)] += 1
+        assert rows == {"∅": 8, "A": 4, "V": 4, "T": 4, "AV": 2, "AT": 2, "VT": 2, "AVT": 1}
+
+
+class TestRobustnessOrder:
+    def test_reflexive(self):
+        cell = PropertyPair.of("AV", "A")
+        assert robustness_leq(cell, cell)
+
+    def test_monotone_in_both_components(self):
+        assert robustness_leq(PropertyPair.of("A", ""), PropertyPair.of("AVT", "A"))
+        assert not robustness_leq(PropertyPair.of("AVT", "A"), PropertyPair.of("A", ""))
+
+    def test_incomparable_cells(self):
+        a = PropertyPair.of("AV", "")
+        b = PropertyPair.of("AT", "")
+        assert not robustness_leq(a, b)
+        assert not robustness_leq(b, a)
+
+    def test_indulgent_is_the_global_maximum(self):
+        top = PropertyPair.indulgent_atomic_commit()
+        assert all(robustness_leq(cell, top) for cell in all_cells())
+
+    def test_weakest_is_the_global_minimum(self):
+        bottom = PropertyPair.weakest()
+        assert all(robustness_leq(bottom, cell) for cell in all_cells())
+
+
+class TestGroupExtremes:
+    def test_least_robust_of_all_cells_is_the_weakest(self):
+        assert least_robust(all_cells()) == [PropertyPair.weakest()]
+
+    def test_local_maxima_of_all_cells_is_indulgent(self):
+        assert local_maxima(all_cells()) == [PropertyPair.indulgent_atomic_commit()]
+
+    def test_one_delay_group_has_three_local_maxima(self):
+        # Section 4.1: cells with a 1-delay bound have local maxima
+        # (AV, AV), (AT, AT) and (AVT, VT)
+        from repro.core.table1 import delay_lower_bound
+
+        one_delay = [cell for cell in all_cells() if delay_lower_bound(cell) == 1]
+        maxima = {cell.label() for cell in local_maxima(one_delay)}
+        assert maxima == {("AV", "AV"), ("AT", "AT"), ("AVT", "VT")}

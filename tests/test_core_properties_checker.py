@@ -1,0 +1,149 @@
+"""Tests for the property checkers and the problem evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checker import (
+    check_nbac,
+    evaluate_problem,
+    required_properties,
+    robustness_row,
+)
+from repro.core.lattice import ALL_PROPS, Prop, PropertyPair
+from repro.core.properties import (
+    check_agreement,
+    check_termination,
+    check_validity,
+    is_nice_execution,
+    solves_nbac,
+)
+from repro.sim.trace import Trace
+
+
+def make_trace(n=3, votes=None, decisions=None, crashes=None, execution_class="failure-free"):
+    """Build a synthetic trace for checker tests."""
+    trace = Trace(n=n, f=1, protocol="synthetic")
+    votes = votes if votes is not None else {pid: 1 for pid in range(1, n + 1)}
+    for pid, vote in votes.items():
+        trace.record_proposal(pid, vote, 0.0)
+    for pid, (value, time) in (decisions or {}).items():
+        trace.record_decision(pid, value, time)
+    for pid, time in (crashes or {}).items():
+        trace.record_crash(pid, time)
+    trace.metadata["execution_class"] = execution_class
+    return trace
+
+
+class TestValidity:
+    def test_commit_with_all_yes_is_valid(self):
+        trace = make_trace(decisions={1: (1, 2), 2: (1, 2), 3: (1, 2)})
+        assert check_validity(trace).holds
+
+    def test_abort_with_all_yes_and_no_failure_is_invalid(self):
+        trace = make_trace(decisions={1: (0, 2), 2: (0, 2), 3: (0, 2)})
+        check = check_validity(trace)
+        assert not check.holds
+        assert len(check.violations) == 3
+
+    def test_abort_with_all_yes_but_a_crash_is_valid(self):
+        trace = make_trace(decisions={1: (0, 2), 2: (0, 2)}, crashes={3: 0.0})
+        assert check_validity(trace).holds
+
+    def test_abort_with_all_yes_but_network_failure_is_valid(self):
+        trace = make_trace(
+            decisions={1: (0, 2)}, execution_class="network-failure"
+        )
+        assert check_validity(trace).holds
+
+    def test_commit_despite_a_no_vote_is_invalid(self):
+        trace = make_trace(votes={1: 1, 2: 0, 3: 1}, decisions={1: (1, 2)})
+        check = check_validity(trace)
+        assert not check.holds
+        assert "proposed 0" in check.violations[0]
+
+    def test_abort_with_a_no_vote_is_valid(self):
+        trace = make_trace(votes={1: 1, 2: 0, 3: 1}, decisions={1: (0, 2), 2: (0, 2)})
+        assert check_validity(trace).holds
+
+
+class TestAgreementAndTermination:
+    def test_agreement_holds_when_all_equal(self):
+        trace = make_trace(decisions={1: (1, 2), 2: (1, 3), 3: (1, 2)})
+        assert check_agreement(trace).holds
+
+    def test_agreement_violated_when_values_differ(self):
+        trace = make_trace(decisions={1: (1, 2), 2: (0, 3)})
+        check = check_agreement(trace)
+        assert not check.holds
+        assert "P1" in check.violations[0] and "P2" in check.violations[0]
+
+    def test_agreement_vacuously_holds_with_no_decisions(self):
+        assert check_agreement(make_trace()).holds
+
+    def test_termination_requires_every_correct_process_to_decide(self):
+        trace = make_trace(decisions={1: (1, 2), 2: (1, 2)})
+        check = check_termination(trace)
+        assert not check.holds
+        assert "P3" in check.violations[0]
+
+    def test_crashed_processes_are_exempt_from_termination(self):
+        trace = make_trace(decisions={1: (1, 2), 2: (1, 2)}, crashes={3: 0.5})
+        assert check_termination(trace).holds
+
+    def test_solves_nbac_combines_all_three(self):
+        good = make_trace(decisions={1: (1, 2), 2: (1, 2), 3: (1, 2)})
+        assert solves_nbac(good).holds
+        bad = make_trace(decisions={1: (1, 2), 2: (0, 2), 3: (1, 2)})
+        assert not solves_nbac(bad).holds
+
+
+class TestNiceExecution:
+    def test_all_yes_failure_free_is_nice(self):
+        assert is_nice_execution(make_trace())
+
+    def test_a_no_vote_is_not_nice(self):
+        assert not is_nice_execution(make_trace(votes={1: 1, 2: 0, 3: 1}))
+
+    def test_a_crash_is_not_nice(self):
+        assert not is_nice_execution(make_trace(crashes={1: 0.0}))
+
+    def test_network_failure_is_not_nice(self):
+        assert not is_nice_execution(make_trace(execution_class="network-failure"))
+
+
+class TestProblemEvaluation:
+    def test_required_properties_per_execution_class(self):
+        cell = PropertyPair.of("AV", "A")
+        assert required_properties(cell, "failure-free") == ALL_PROPS
+        assert required_properties(cell, "crash-failure") == cell.cf
+        assert required_properties(cell, "network-failure") == cell.nf
+        with pytest.raises(ValueError):
+            required_properties(cell, "martian-failure")
+
+    def test_evaluation_ignores_properties_the_cell_does_not_require(self):
+        # termination violated, but the cell only requires agreement under crashes
+        trace = make_trace(decisions={1: (1, 2)}, crashes={2: 0.0}, execution_class="crash-failure")
+        evaluation = evaluate_problem(trace, PropertyPair.of("A", "A"))
+        assert evaluation.satisfied
+        assert Prop.TERMINATION not in evaluation.required
+
+    def test_evaluation_fails_on_required_property(self):
+        trace = make_trace(
+            decisions={1: (1, 2), 2: (0, 2)}, crashes={3: 0.0}, execution_class="crash-failure"
+        )
+        evaluation = evaluate_problem(trace, PropertyPair.of("A", ""))
+        assert not evaluation.satisfied
+        assert evaluation.failures
+
+    def test_report_satisfied_labels(self):
+        trace = make_trace(decisions={1: (1, 2), 2: (1, 2), 3: (1, 2)})
+        assert check_nbac(trace).satisfied_labels() == "AVT"
+
+    def test_robustness_row_takes_the_intersection_over_traces(self):
+        good = make_trace(decisions={1: (1, 2), 2: (1, 2), 3: (1, 2)})
+        no_termination = make_trace(decisions={1: (1, 2)}, execution_class="crash-failure",
+                                    crashes={2: 0.0})
+        row = robustness_row({"crash-failure": [good, no_termination]})
+        assert "T" not in row["crash-failure"]
+        assert "A" in row["crash-failure"]

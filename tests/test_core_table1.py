@@ -1,0 +1,141 @@
+"""Tests for the Table 1 lower bounds (repro.core.table1).
+
+The paper's Table 1 is transcribed literally below and compared cell by cell
+against the closed-form rules used by the library.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lattice import PropertyPair, all_cells
+from repro.core.table1 import (
+    cell_bound,
+    complexity_groups,
+    delay_groups,
+    delay_lower_bound,
+    message_lower_bound,
+    table1_bounds,
+    tradeoff_cells,
+)
+from repro.errors import ConfigurationError
+
+# (CF, NF) -> (delays, symbolic messages) exactly as printed in Table 1.
+PAPER_TABLE_1 = {
+    # NF = ∅ row
+    ("∅", "∅"): (1, "0"),
+    ("A", "∅"): (1, "0"),
+    ("V", "∅"): (1, "n-1+f"),
+    ("T", "∅"): (1, "0"),
+    ("AV", "∅"): (1, "n-1+f"),
+    ("AT", "∅"): (1, "0"),
+    ("VT", "∅"): (1, "n-1+f"),
+    ("AVT", "∅"): (1, "n-1+f"),
+    # NF = A row
+    ("A", "A"): (1, "0"),
+    ("AV", "A"): (1, "n-1+f"),
+    ("AT", "A"): (1, "0"),
+    ("AVT", "A"): (2, "2n-2+f"),
+    # NF = V row
+    ("V", "V"): (1, "2n-2"),
+    ("AV", "V"): (1, "2n-2"),
+    ("VT", "V"): (1, "2n-2"),
+    ("AVT", "V"): (1, "2n-2"),
+    # NF = T row
+    ("T", "T"): (1, "0"),
+    ("AT", "T"): (1, "0"),
+    ("VT", "T"): (1, "n-1+f"),
+    ("AVT", "T"): (1, "n-1+f"),
+    # NF = AV row
+    ("AV", "AV"): (1, "2n-2"),
+    ("AVT", "AV"): (2, "2n-2+f"),
+    # NF = AT row
+    ("AT", "AT"): (1, "0"),
+    ("AVT", "AT"): (2, "2n-2+f"),
+    # NF = VT row
+    ("VT", "VT"): (1, "2n-2"),
+    ("AVT", "VT"): (1, "2n-2"),
+    # NF = AVT row
+    ("AVT", "AVT"): (2, "2n-2+f"),
+}
+
+
+class TestAgainstThePaperTable:
+    def test_paper_table_has_27_entries(self):
+        assert len(PAPER_TABLE_1) == 27
+
+    @pytest.mark.parametrize("labels,expected", sorted(PAPER_TABLE_1.items()))
+    def test_every_cell_matches_the_paper(self, labels, expected):
+        cf, nf = labels
+        cell = PropertyPair.of(cf if cf != "∅" else "", nf if nf != "∅" else "")
+        expected_delays, expected_messages = expected
+        assert delay_lower_bound(cell) == expected_delays
+        assert message_lower_bound(cell) == expected_messages
+
+    def test_table1_bounds_covers_all_cells(self):
+        bounds = table1_bounds()
+        assert len(bounds) == 27
+        assert set(bounds) == {cell.label() for cell in all_cells()}
+
+
+class TestNumericBounds:
+    @pytest.mark.parametrize("n,f", [(3, 1), (5, 2), (8, 7), (10, 4)])
+    def test_symbolic_formulas_evaluate_correctly(self, n, f):
+        assert message_lower_bound(PropertyPair.of("V", ""), n, f) == n - 1 + f
+        assert message_lower_bound(PropertyPair.of("V", "V"), n, f) == 2 * n - 2
+        assert message_lower_bound(PropertyPair.of("AVT", "AVT"), n, f) == 2 * n - 2 + f
+        assert message_lower_bound(PropertyPair.of("", ""), n, f) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            message_lower_bound(PropertyPair.of("V", ""), 1, 1)
+        with pytest.raises(ConfigurationError):
+            message_lower_bound(PropertyPair.of("V", ""), 4, 4)
+        with pytest.raises(ConfigurationError):
+            cell_bound(PropertyPair.of("V", "")).messages_for(3, 0)
+
+    def test_non_canonical_cell_uses_its_canonical_equivalent(self):
+        # empty cell (A, V) is equivalent to (AV, V) per the table's footnote
+        assert message_lower_bound(PropertyPair.of("A", "V")) == message_lower_bound(
+            PropertyPair.of("AV", "V")
+        )
+        assert delay_lower_bound(PropertyPair.of("T", "AVT")) == 2
+
+    def test_as_fraction_rendering(self):
+        bound = cell_bound(PropertyPair.indulgent_atomic_commit())
+        assert bound.as_fraction() == "2/2n-2+f"
+        assert bound.as_fraction(5, 2) == "2/10"
+
+
+class TestGroupsAndTradeoffs:
+    def test_delay_groups(self):
+        groups = delay_groups()
+        assert set(groups) == {1, 2}
+        assert len(groups[2]) == 4  # (AVT, A), (AVT, AV), (AVT, AT), (AVT, AVT)
+        assert len(groups[1]) == 23
+
+    def test_message_groups_partition_the_cells(self):
+        groups = complexity_groups()
+        assert set(groups) == {"0", "n-1+f", "2n-2", "2n-2+f"}
+        assert sum(len(v) for v in groups.values()) == 27
+
+    def test_group_sizes_match_the_paper(self):
+        groups = complexity_groups()
+        # 9 cells with 0 messages, 7 with n-1+f, 7 with 2n-2, 4 with 2n-2+f
+        assert {name: len(v) for name, v in groups.items()} == {
+            "0": 9,
+            "n-1+f": 7,
+            "2n-2": 7,
+            "2n-2+f": 4,
+        }
+
+    def test_tradeoff_in_18_of_27_problems(self):
+        # Section 3.2: 14 problems with bounds n-1+f or 2n-2 plus the 4 most
+        # robust ones exhibit a delay/message tradeoff.
+        assert len(tradeoff_cells()) == 18
+
+    def test_two_delay_cells_require_agreement_under_network_failures(self):
+        for cell in all_cells():
+            if delay_lower_bound(cell) == 2:
+                assert cell.label()[0] == "AVT"
+                assert "A" in cell.label()[1]

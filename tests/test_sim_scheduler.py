@@ -1,0 +1,301 @@
+"""Tests for the scheduler, the process abstraction and trace recording."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolViolationError
+from repro.sim.faults import FaultPlan
+from repro.sim.network import FixedDelay
+from repro.sim.process import Process, ProcessComponent
+from repro.sim.runner import Scheduler, Simulation, run_nice_execution
+from repro.sim.trace import Trace
+
+
+class EchoProcess(Process):
+    """Sends its vote to everyone, decides the set of votes it saw at time 2."""
+
+    def __init__(self, pid, n, f, env):
+        super().__init__(pid, n, f, env)
+        self.seen = {}
+        self.timeouts = []
+
+    def on_propose(self, value):
+        self.seen[self.pid] = value
+        for q in self.other_pids():
+            self.send(q, ("vote", value))
+        self.set_timer(2, name="decide")
+
+    def on_deliver(self, src, payload):
+        self.seen[src] = payload[1]
+
+    def on_timeout(self, name):
+        self.timeouts.append((name, self.now()))
+        if name == "decide" and len(self.seen) == self.n:
+            self.decide(sum(self.seen.values()))
+
+
+class SelfSender(Process):
+    """Exercises local self-messages (not counted, delivered immediately)."""
+
+    def __init__(self, pid, n, f, env):
+        super().__init__(pid, n, f, env)
+        self.got_self_message_at = None
+
+    def on_propose(self, value):
+        self.send(self.pid, ("self", value))
+
+    def on_deliver(self, src, payload):
+        if src == self.pid:
+            self.got_self_message_at = self.now()
+
+    def on_timeout(self, name):
+        pass
+
+
+class TestSchedulerBasics:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(n=1, f=1)
+        with pytest.raises(ConfigurationError):
+            Scheduler(n=4, f=0)
+        with pytest.raises(ConfigurationError):
+            Scheduler(n=4, f=4)
+
+    def test_simulation_needs_exactly_one_factory(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(n=3, f=1)
+        with pytest.raises(ConfigurationError):
+            Simulation(n=3, f=1, process_class=EchoProcess, process_factory=lambda *a: None)
+
+    def test_vote_count_must_match_n(self):
+        sim = Simulation(n=3, f=1, process_class=EchoProcess)
+        with pytest.raises(ConfigurationError):
+            sim.run([1, 1])
+
+    def test_all_processes_decide_with_fixed_delays(self):
+        sim = Simulation(n=4, f=1, process_class=EchoProcess)
+        result = sim.run([1, 1, 1, 1])
+        assert result.decisions() == {1: 4, 2: 4, 3: 4, 4: 4}
+        assert result.trace.last_decision_time() == 2.0
+
+    def test_votes_as_dict(self):
+        sim = Simulation(n=3, f=1, process_class=EchoProcess)
+        result = sim.run({1: 1, 2: 0, 3: 1})
+        assert set(result.decisions().values()) == {2}
+
+    def test_message_counting_excludes_self_messages(self):
+        sim = Simulation(n=3, f=1, process_class=EchoProcess)
+        trace = sim.run([1, 1, 1]).trace
+        assert trace.message_count() == 6  # 3 processes x 2 others
+        sim2 = Simulation(n=3, f=1, process_class=SelfSender, stop_when_all_correct_decided=False, max_time=5)
+        trace2 = sim2.run([1, 1, 1]).trace
+        assert trace2.message_count() == 0
+        assert all(not m.counted for m in trace2.messages)
+
+    def test_self_messages_arrive_immediately(self):
+        sim = Simulation(n=3, f=1, process_class=SelfSender, stop_when_all_correct_decided=False, max_time=5)
+        result = sim.run([1, 1, 1])
+        assert all(result.process(pid).got_self_message_at == 0.0 for pid in (1, 2, 3))
+
+    def test_double_decision_raises(self):
+        class DoubleDecider(EchoProcess):
+            def on_timeout(self, name):
+                self.decide(1)
+                self.decide(1)
+
+        sim = Simulation(n=2, f=1, process_class=DoubleDecider, stop_when_all_correct_decided=False)
+        with pytest.raises(ProtocolViolationError):
+            sim.run([1, 1])
+
+    def test_send_to_unknown_process_raises(self):
+        class BadSender(EchoProcess):
+            def on_propose(self, value):
+                self.send(99, ("oops",))
+
+        sim = Simulation(n=2, f=1, process_class=BadSender)
+        with pytest.raises(Exception):
+            sim.run([1, 1])
+
+    def test_metadata_stamped_on_trace(self):
+        sim = Simulation(n=3, f=1, process_class=EchoProcess)
+        trace = sim.run([1, 1, 1]).trace
+        assert trace.metadata["execution_class"] == "failure-free"
+        assert trace.metadata["votes"] == {1: 1, 2: 1, 3: 1}
+
+
+class TestCrashInjection:
+    def test_crashed_process_sends_nothing(self):
+        plan = FaultPlan.crash(2, at=0.0)
+        sim = Simulation(n=3, f=1, process_class=EchoProcess, fault_plan=plan,
+                         stop_when_all_correct_decided=False, max_time=10)
+        trace = sim.run([1, 1, 1]).trace
+        assert all(m.src != 2 for m in trace.counted_messages())
+        assert 2 not in trace.decisions
+        assert trace.crashes == {2: 0.0}
+
+    def test_crash_mid_execution_stops_later_sends(self):
+        class TwoRoundSender(EchoProcess):
+            def on_timeout(self, name):
+                for q in self.other_pids():
+                    self.send(q, ("late", self.pid))
+
+        plan = FaultPlan.crash(1, at=1.5)
+        sim = Simulation(n=3, f=1, process_class=TwoRoundSender, fault_plan=plan,
+                         stop_when_all_correct_decided=False, max_time=5)
+        trace = sim.run([1, 1, 1]).trace
+        late_from_1 = [m for m in trace.counted_messages()
+                       if m.src == 1 and m.payload[0] == "late"]
+        assert late_from_1 == []  # the timer at 2 fires after the crash at 1.5
+
+    def test_messages_to_crashed_process_are_harmless(self):
+        plan = FaultPlan.crash(3, at=0.0)
+        sim = Simulation(n=3, f=2, process_class=EchoProcess, fault_plan=plan,
+                         stop_when_all_correct_decided=False, max_time=10)
+        result = sim.run([1, 1, 1])
+        # messages addressed to the crashed process are still transmitted but
+        # never handled: the crashed process records nothing and never decides
+        assert any(m.dst == 3 for m in result.trace.counted_messages())
+        assert result.process(3).seen == {}
+        assert 3 not in result.trace.decisions
+
+
+class TestTimers:
+    def test_rearming_supersedes_previous_deadline(self):
+        class Rearmer(Process):
+            def __init__(self, pid, n, f, env):
+                super().__init__(pid, n, f, env)
+                self.fired = []
+
+            def on_propose(self, value):
+                self.set_timer(1, name="t")
+                self.set_timer(3, name="t")  # supersedes the first arming
+
+            def on_deliver(self, src, payload):
+                pass
+
+            def on_timeout(self, name):
+                self.fired.append(self.now())
+
+        sim = Simulation(n=2, f=1, process_class=Rearmer,
+                         stop_when_all_correct_decided=False, max_time=10)
+        result = sim.run([1, 1])
+        assert result.process(1).fired == [3.0]
+
+    def test_cancel_timer(self):
+        class Canceller(Process):
+            def __init__(self, pid, n, f, env):
+                super().__init__(pid, n, f, env)
+                self.fired = []
+
+            def on_propose(self, value):
+                self.set_timer(1, name="t")
+                self.env.cancel_timer("t")
+
+            def on_deliver(self, src, payload):
+                pass
+
+            def on_timeout(self, name):
+                self.fired.append(name)
+
+        sim = Simulation(n=2, f=1, process_class=Canceller,
+                         stop_when_all_correct_decided=False, max_time=5)
+        result = sim.run([1, 1])
+        assert result.process(1).fired == []
+
+    def test_timer_expiries_recorded_in_trace(self):
+        sim = Simulation(n=2, f=1, process_class=EchoProcess)
+        trace = sim.run([1, 1]).trace
+        assert any(t.name == "decide" for t in trace.timers)
+
+
+class TestComponents:
+    def test_component_messages_are_routed_and_tagged(self):
+        class Pinger(ProcessComponent):
+            def __init__(self, host):
+                super().__init__(host, "ping")
+                self.got = []
+
+            def on_deliver(self, src, payload):
+                self.got.append((src, payload))
+
+            def on_timeout(self, name):
+                pass
+
+        class Host(Process):
+            def __init__(self, pid, n, f, env):
+                super().__init__(pid, n, f, env)
+                self.ping = self.attach_component(Pinger(self))
+
+            def on_propose(self, value):
+                self.ping.broadcast(("hello", self.pid), include_self=False)
+
+            def on_deliver(self, src, payload):
+                raise AssertionError("component messages must not reach the host handler")
+
+            def on_timeout(self, name):
+                pass
+
+        sim = Simulation(n=3, f=1, process_class=Host,
+                         stop_when_all_correct_decided=False, max_time=5)
+        result = sim.run([1, 1, 1])
+        assert sorted(result.process(1).ping.got) == [(2, ("hello", 2)), (3, ("hello", 3))]
+        modules = {m.module for m in result.trace.counted_messages()}
+        assert modules == {"ping"}
+
+    def test_duplicate_component_name_rejected(self):
+        scheduler = Scheduler(n=2, f=1)
+        proc = EchoProcess(1, 2, 1, scheduler.env_for(1))
+
+        class Dummy(ProcessComponent):
+            def on_deliver(self, src, payload):
+                pass
+
+            def on_timeout(self, name):
+                pass
+
+        proc.attach_component(Dummy(proc, "x"))
+        with pytest.raises(ProtocolViolationError):
+            proc.attach_component(Dummy(proc, "x"))
+
+
+class TestTraceQueries:
+    def test_summary_and_histogram(self):
+        sim = Simulation(n=3, f=1, process_class=EchoProcess)
+        trace = sim.run([1, 1, 1]).trace
+        summary = trace.summary()
+        assert summary["decided"] == 3
+        assert summary["messages_total"] == 6
+        assert trace.messages_by_kind() == {"vote": 6}
+
+    def test_causal_depth_of_request_reply(self):
+        class RequestReply(Process):
+            def on_propose(self, value):
+                if self.pid == 1:
+                    self.send(2, ("req",))
+
+            def on_deliver(self, src, payload):
+                if payload[0] == "req":
+                    self.send(src, ("rep",))
+                elif payload[0] == "rep":
+                    self.decide(1)
+
+            def on_timeout(self, name):
+                pass
+
+        sim = Simulation(n=2, f=1, process_class=RequestReply,
+                         stop_when_all_correct_decided=False, max_time=5)
+        trace = sim.run([1, 1]).trace
+        assert trace.causal_depth() == 2
+
+    def test_mod_index_helper(self):
+        scheduler = Scheduler(n=4, f=1)
+        proc = EchoProcess(1, 4, 1, scheduler.env_for(1))
+        assert proc.mod_index(0) == 4
+        assert proc.mod_index(4) == 4
+        assert proc.mod_index(5) == 1
+        assert proc.mod_index(2) == 2
+
+    def test_run_nice_execution_helper(self):
+        result = run_nice_execution(EchoProcess, n=3, f=1)
+        assert len(result.decisions()) == 3
