@@ -1,0 +1,22 @@
+"""Importable helpers shared by the benchmark modules.
+
+These used to live in ``benchmarks/conftest.py``, but a top-level
+``conftest.py`` is imported under the module name ``conftest`` — the same
+name as ``tests/conftest.py`` — so collecting both directories in one pytest
+run made ``from conftest import ...`` resolve to whichever file loaded first.
+Keeping the helpers in a regular module with a unique name makes the imports
+unambiguous no matter which directories a run collects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def attach_rows(benchmark, name: str, rows: List[Dict[str, object]]) -> None:
+    """Attach regenerated table rows to the benchmark record (JSON-safe)."""
+    safe_rows = []
+    for row in rows:
+        safe_rows.append({k: (v if isinstance(v, (int, float, str, bool, type(None))) else str(v))
+                          for k, v in row.items()})
+    benchmark.extra_info[name] = safe_rows

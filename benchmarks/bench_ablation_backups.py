@@ -14,19 +14,22 @@ lower bound tangible:
 
 The genuine INBAC, run under the very same schedule, stays in agreement —
 which is exactly what the extra ``f``-th backup/acknowledgement buys.
+
+Both batteries (nice-path message counts, Lemma 1 adversary replay) run as
+:mod:`repro.exp` sweeps over the two protocol variants instead of hand-rolled
+``Simulation`` loops.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from conftest import attach_rows
+from _helpers import attach_rows
 from repro.analysis import render_table
-from repro.core.checker import check_nbac
+from repro.exp import GridSpec, run_sweep
 from repro.protocols.base import logical_and
 from repro.protocols.inbac import INBAC
 from repro.sim.faults import DelayRule, FaultPlan
-from repro.sim.runner import Simulation, run_nice_execution
 
 
 class WeakINBAC(INBAC):
@@ -64,18 +67,22 @@ class WeakINBAC(INBAC):
         super()._phase1_timeout_outsider()
 
 
+VARIANTS = [("INBAC (f backups)", INBAC), ("ablated (f-1 backups)", WeakINBAC)]
+
+
 def measure_message_savings(n, f):
+    sweep = run_sweep(GridSpec(protocols=VARIANTS, systems=[(n, f)]))
+    assert not sweep.errors(), [t.error for t in sweep.errors()]
     rows = []
-    for label, cls in (("INBAC (f backups)", INBAC), ("ablated (f-1 backups)", WeakINBAC)):
-        result = run_nice_execution(cls, n=n, f=f)
+    for trial in sweep.trials:
         rows.append(
             {
-                "variant": label,
+                "variant": trial.protocol,
                 "n": n,
                 "f": f,
-                "protocol_messages": result.trace.message_count(module="main"),
-                "delays": result.trace.last_decision_time(),
-                "all_commit": "yes" if set(result.decisions().values()) == {1} else "no",
+                "protocol_messages": trial.messages_main,
+                "delays": trial.last_decision,
+                "all_commit": "yes" if trial.all_committed else "no",
             }
         )
     return rows
@@ -94,12 +101,20 @@ def lemma1_adversary() -> FaultPlan:
     return FaultPlan(delay_rules=rules, description="Lemma 1 adversary")
 
 
-def run_adversary(protocol_cls, n=5, f=2):
-    sim = Simulation(
-        n=n, f=f, process_class=protocol_cls, fault_plan=lemma1_adversary(), max_time=500, seed=2
+def run_adversary_sweep(n=5, f=2):
+    """Both variants under the very same Lemma 1 schedule, one sweep."""
+    grid = GridSpec(
+        protocols=VARIANTS,
+        systems=[(n, f)],
+        faults=[("Lemma 1 adversary", lemma1_adversary)],
+        seeds=[2],
+        max_time=500,
     )
-    result = sim.run([1] * n)
-    return result, check_nbac(result.trace)
+    sweep = run_sweep(grid)
+    assert not sweep.errors(), [t.error for t in sweep.errors()]
+    weak = sweep.select(protocol="ablated (f-1 backups)")[0]
+    full = sweep.select(protocol="INBAC (f backups)")[0]
+    return weak, full
 
 
 @pytest.mark.parametrize("n,f", [(5, 2), (8, 3)])
@@ -115,23 +130,16 @@ def test_ablation_backup_set_size(benchmark, n, f):
 
 
 def test_ablation_agreement_counter_example(benchmark):
-    def both():
-        weak = run_adversary(WeakINBAC)
-        full = run_adversary(INBAC)
-        return weak, full
-
-    (weak_result, weak_report), (full_result, full_report) = benchmark.pedantic(
-        both, rounds=1, iterations=1
-    )
+    weak, full = benchmark.pedantic(run_adversary_sweep, rounds=1, iterations=1)
     # ... but it is unsafe: the Lemma 1 adversary makes the weakened variant
     # violate agreement, demonstrating that f backups/acks are necessary ...
-    assert not weak_report.agreement.holds, (
+    assert not weak.agreement, (
         "expected the weakened variant to violate agreement under the Lemma 1 "
-        f"schedule, got decisions {weak_result.decisions()}"
+        f"schedule, got decisions {weak.decisions}"
     )
     # ... while the genuine INBAC stays safe under the very same schedule
-    assert full_report.agreement.holds
-    assert full_report.termination.holds
+    assert full.agreement
+    assert full.termination
     print()
-    print("E8 — Lemma 1 adversary, ablated variant decisions:", weak_result.decisions())
-    print("E8 — Lemma 1 adversary, genuine INBAC decisions:  ", full_result.decisions())
+    print("E8 — Lemma 1 adversary, ablated variant decisions:", weak.decisions)
+    print("E8 — Lemma 1 adversary, genuine INBAC decisions:  ", full.decisions)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import attach_rows
+from _helpers import attach_rows
 from repro.analysis import render_table
 from repro.db import ClusterConfig, run_cluster
 from repro.workloads import bank_transfer_workload, hotspot_workload

@@ -11,14 +11,20 @@ Figure 1 of the paper is the decision diagram a process runs at time 2U:
 The benchmark drives INBAC through a battery of executions designed to hit
 every branch, reports how often each branch was taken and asserts full branch
 coverage — the executable equivalent of reproducing the figure.
+
+The battery is a :func:`repro.exp.make_cases` scenario list (votes and fault
+plan vary *together*, so it is not a cross product) run through
+:func:`repro.exp.run_trials`; a collector extracts each process' branch log
+inside the worker, since live process objects never cross the pool boundary.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 
-from conftest import attach_rows
+from _helpers import attach_rows
 from repro.analysis import render_table
+from repro.exp import make_cases, run_trials
 from repro.protocols.inbac import (
     BRANCH_ASK_HELP,
     BRANCH_CONS_AND,
@@ -31,7 +37,6 @@ from repro.protocols.inbac import (
     INBAC,
 )
 from repro.sim.faults import DelayRule, FaultPlan
-from repro.sim.runner import Simulation
 
 N, F = 5, 2
 
@@ -65,21 +70,45 @@ SCENARIOS = [
 ]
 
 
+def collect_branches(trial, result):
+    """Worker-side collector: pull each process' Figure 1 branch log."""
+    return {
+        "branches": {
+            pid: list(result.process(pid).branch_history) for pid in range(1, trial.n + 1)
+        }
+    }
+
+
 def run_all_scenarios():
+    trials = make_cases(
+        [
+            {
+                "protocol": INBAC,
+                "n": N,
+                "f": F,
+                "votes": (label, votes),
+                "fault": (label, plan),
+                "seed": 3,
+            }
+            for label, votes, plan in SCENARIOS
+        ],
+        max_time=500,
+    )
+    sweep = run_trials(trials, collector=collect_branches)
+    assert not sweep.errors(), [t.error for t in sweep.errors()]
+
     branch_counts = Counter()
     rows = []
-    for label, votes, plan in SCENARIOS:
-        sim = Simulation(n=N, f=F, process_class=INBAC, fault_plan=plan, max_time=500, seed=3)
-        result = sim.run(votes)
+    for trial in sweep.trials:
         per_scenario = Counter()
-        for pid in range(1, N + 1):
-            for branch in result.process(pid).branch_history:
+        for branches in trial.extra["branches"].values():
+            for branch in branches:
                 branch_counts[branch] += 1
                 per_scenario[branch] += 1
         rows.append(
             {
-                "scenario": label,
-                "decisions": str(sorted(set(result.decisions().values()))),
+                "scenario": trial.fault_label,
+                "decisions": str(sorted(set(trial.decisions.values()))),
                 "branches": ", ".join(sorted(per_scenario)),
             }
         )

@@ -1,66 +1,54 @@
 """E9 — robustness matrix: which properties each protocol keeps under which failures.
 
 Reproduces the qualitative bottom row of Table 5 ("Sync. NBAC" / "Blocking" /
-"Indulgent") by running every registered protocol through batteries of
+"Indulgent") by sweeping every registered protocol through batteries of
 failure-free, crash-failure and network-failure executions and recording which
 of agreement / validity / termination survive each class.
+
+The battery is one :class:`repro.exp.GridSpec` — every protocol in the
+registry x eight fault plans x two vote vectors — fanned out over worker
+processes by :func:`repro.exp.run_sweep`; trials are grouped back into
+execution classes by the class each fault plan actually induces.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from conftest import attach_rows
-from repro.analysis import render_table
-from repro.core.checker import robustness_row
+from _helpers import attach_rows
+from repro.analysis import render_table, robustness_matrix_rows
+from repro.exp import GridSpec, run_sweep
 from repro.protocols.registry import all_protocols
 from repro.sim.faults import DelayRule, FaultPlan
-from repro.sim.runner import Simulation
 
 N, F = 5, 2
 
-PLANS = {
-    "failure-free": [FaultPlan.failure_free()],
-    "crash-failure": [
-        FaultPlan.crash(1, at=0.0),
-        FaultPlan.crash(1, at=1.0),
-        FaultPlan.crash(3, at=0.0),
-        FaultPlan.crashes_at({1: 0.0, 4: 1.0}),
-    ],
-    "network-failure": [
-        FaultPlan.delay_messages(src=1, delay=40.0),
-        FaultPlan.delay_messages(dst=5, delay=40.0, after_time=0.5),
-        FaultPlan(delay_rules=[DelayRule(predicate=lambda p: isinstance(p, tuple), delay=30.0,
-                                         after_time=0.5, src=2)]),
-    ],
-}
+FAULT_AXIS = [
+    ("failure-free", None),
+    ("crash P1@0", FaultPlan.crash(1, at=0.0)),
+    ("crash P1@1", FaultPlan.crash(1, at=1.0)),
+    ("crash P3@0", FaultPlan.crash(3, at=0.0)),
+    ("crash P1@0+P4@1", FaultPlan.crashes_at({1: 0.0, 4: 1.0})),
+    ("late from P1", FaultPlan.delay_messages(src=1, delay=40.0)),
+    ("late to P5", FaultPlan.delay_messages(dst=5, delay=40.0, after_time=0.5)),
+    ("late tuples from P2", FaultPlan(delay_rules=[
+        DelayRule(predicate=lambda p: isinstance(p, tuple), delay=30.0,
+                  after_time=0.5, src=2)])),
+]
 
-VOTES = [[1] * N, [1, 1, 0, 1, 1]]
+VOTE_AXIS = ["all-yes", ("one-no", [1, 1, 0, 1, 1])]
 
 
 def build_matrix():
-    rows = []
-    for name, info in sorted(all_protocols().items()):
-        traces_by_class = {}
-        for cls_name, plans in PLANS.items():
-            traces = []
-            for plan in plans:
-                for votes in VOTES:
-                    sim = Simulation(n=N, f=F, process_class=info.cls, fault_plan=plan,
-                                     max_time=400, seed=1)
-                    traces.append(sim.run(votes).trace)
-            traces_by_class[cls_name] = traces
-        held = robustness_row(traces_by_class)
-        rows.append(
-            {
-                "protocol": name,
-                "failure-free": held["failure-free"],
-                "crash-failure": held["crash-failure"],
-                "network-failure": held["network-failure"],
-                "claimed_cell": str(info.cell) if info.cell else "-",
-            }
-        )
-    return rows
+    grid = GridSpec(
+        protocols=sorted(all_protocols()),
+        systems=[(N, F)],
+        faults=FAULT_AXIS,
+        votes=VOTE_AXIS,
+        seeds=[1],
+        max_time=400,
+    )
+    sweep = run_sweep(grid)
+    assert not sweep.errors(), [t.error for t in sweep.errors()]
+    return robustness_matrix_rows(sweep)
 
 
 def test_robustness_matrix(benchmark):

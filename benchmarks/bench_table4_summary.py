@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import attach_rows
+from _helpers import attach_rows
 from repro.analysis import build_table4, render_table
 
 PARAMS = [(5, 2), (8, 3), (10, 4)]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import attach_rows
+from _helpers import attach_rows
 from repro.analysis import build_table5, render_table
 from repro.analysis.compare import compare_measured_to_paper
 

@@ -1,4 +1,4 @@
-"""Shared helpers for the benchmark harness.
+"""Benchmark-harness conftest.
 
 Every benchmark regenerates one of the paper's tables or figures (experiments
 E1-E9 in DESIGN.md).  Each bench measures the wall-clock cost of producing the
@@ -6,17 +6,9 @@ artefact with ``pytest-benchmark`` *and* attaches the regenerated rows to
 ``benchmark.extra_info`` so that ``--benchmark-json`` output contains the
 reproduced numbers, not just timings.  The key assertions about the paper's
 shape (who wins, by how much, where the crossovers are) are made inline.
+
+Shared helpers live in :mod:`benchmarks._helpers` (imported by the bench
+modules as ``from _helpers import ...``), NOT here: a top-level conftest is
+imported under the module name ``conftest``, which collides with
+``tests/conftest.py`` when both directories are collected in one run.
 """
-
-from __future__ import annotations
-
-from typing import Dict, List
-
-
-def attach_rows(benchmark, name: str, rows: List[Dict[str, object]]) -> None:
-    """Attach regenerated table rows to the benchmark record (JSON-safe)."""
-    safe_rows = []
-    for row in rows:
-        safe_rows.append({k: (v if isinstance(v, (int, float, str, bool, type(None))) else str(v))
-                          for k, v in row.items()})
-    benchmark.extra_info[name] = safe_rows

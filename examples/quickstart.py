@@ -7,6 +7,23 @@ complexity, and then shows INBAC surviving a crash and a network failure —
 the "indulgence" that 2PC lacks.
 
 Run with:  python examples/quickstart.py
+
+To compare protocols across many system sizes, delay regimes and fault plans
+at once, use the experiment-sweep engine instead of hand-rolled loops — it
+fans trials out over worker processes, and parallel runs reproduce serial
+aggregates exactly::
+
+    from repro.exp import GridSpec, run_sweep
+    from repro.analysis import render_table
+    from repro.sim.faults import FaultPlan
+
+    sweep = run_sweep(GridSpec(
+        protocols=["INBAC", "2PC", "PaxosCommit"],   # or omit: whole registry
+        systems=[(5, 2), (8, 3), (12, 3)],
+        faults=[None, ("crash P1", FaultPlan.crash(1, at=0.0))],
+        seeds=[0, 1, 2],
+    ), workers=4)
+    print(render_table(sweep.aggregate_rows()))
 """
 
 from __future__ import annotations

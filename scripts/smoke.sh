@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Smoke check: everything a PR must keep working, in one command.
+#
+#   bash scripts/smoke.sh
+#
+# Runs, in order:
+#   1. the tier-1 test suite exactly as ROADMAP.md specifies (collection
+#      regressions — e.g. the benchmarks/tests conftest collision — fail here);
+#   2. a sanity check that `pytest benchmarks` actually *collects* the
+#      bench_*.py experiments instead of silently reporting "no tests ran";
+#   3. one fast benchmark end-to-end;
+#   4. all four examples.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "==> [1/4] tier-1 tests (pytest from the repo root)"
+python -m pytest -x -q
+
+echo "==> [2/4] benchmark collection (must be > 0 tests)"
+collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
+if [ "${collected}" -eq 0 ]; then
+    echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
+    exit 1
+fi
+echo "    collected ${collected} benchmark tests"
+
+echo "==> [3/4] one fast benchmark"
+python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
+
+echo "==> [4/4] examples"
+for example in quickstart protocol_shootout bank_transfer_kv helios_conflict_commit; do
+    echo "--- examples/${example}.py"
+    python "examples/${example}.py" > /dev/null
+done
+
+echo "smoke: OK"

@@ -16,7 +16,10 @@ The package provides:
   with any of those protocols (:mod:`repro.db`), plus workload generators
   (:mod:`repro.workloads`);
 * closed-form complexity formulas, table renderers and measured-vs-paper
-  comparison helpers used by the benchmarks (:mod:`repro.analysis`).
+  comparison helpers used by the benchmarks (:mod:`repro.analysis`);
+* a declarative, parallel experiment-sweep engine for cross-product
+  comparisons over protocol x (n, f) x delay model x fault plan x votes x
+  seed (:mod:`repro.exp`).
 
 Quickstart
 ----------
@@ -65,6 +68,7 @@ from repro.protocols import (
     get_protocol,
     table5_protocols,
 )
+from repro.exp import GridSpec, SweepResult, run_sweep
 from repro.sim import FaultPlan, FixedDelay, Simulation, SimulationResult, Trace
 from repro.sim.runner import run_nice_execution
 
@@ -80,6 +84,7 @@ __all__ = [
     "FasterPaxosCommit",
     "FaultPlan",
     "FixedDelay",
+    "GridSpec",
     "INBAC",
     "LockConflict",
     "NMinus1PlusFNBAC",
@@ -92,6 +97,7 @@ __all__ = [
     "SimulationResult",
     "SimulationError",
     "StorageError",
+    "SweepResult",
     "ThreePhaseCommit",
     "Trace",
     "TransactionAborted",
@@ -107,6 +113,7 @@ __all__ = [
     "message_lower_bound",
     "nice_execution_complexity",
     "run_nice_execution",
+    "run_sweep",
     "table1_bounds",
     "table5_protocols",
     "__version__",

@@ -8,6 +8,8 @@
 * :mod:`repro.analysis.compare` — measured-vs-paper comparison records.
 * :mod:`repro.analysis.render` — plain-text table rendering used by the
   examples and benchmarks.
+* :mod:`repro.analysis.sweeps` — reshaping of :mod:`repro.exp` sweep results
+  into report tables (robustness matrix, per-fault property summaries).
 """
 
 from repro.analysis.compare import ComparisonRow, compare_measured_to_paper
@@ -18,6 +20,7 @@ from repro.analysis.formulas import (
     protocol_paper_formulas,
 )
 from repro.analysis.render import render_table
+from repro.analysis.sweeps import properties_by_fault_rows, robustness_matrix_rows
 from repro.analysis.tables import (
     build_table1,
     build_table2,
@@ -39,6 +42,8 @@ __all__ = [
     "paper_table4",
     "paper_table5_delays",
     "paper_table5_messages",
+    "properties_by_fault_rows",
     "protocol_paper_formulas",
     "render_table",
+    "robustness_matrix_rows",
 ]

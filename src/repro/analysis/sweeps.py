@@ -1,0 +1,60 @@
+"""Turn :mod:`repro.exp` sweep results into the repo's report tables.
+
+The sweep engine returns structured per-trial records; the helpers here join
+them with registry metadata and reshape them into the row dicts that
+:func:`repro.analysis.render.render_table` prints — the robustness matrix of
+experiment E9, and the per-fault property summary used by the protocol
+shoot-out example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.exp.results import SweepResult, held_label
+
+
+def robustness_matrix_rows(sweep: SweepResult) -> List[Dict[str, Any]]:
+    """The E9 robustness matrix, joined with each protocol's claimed cell.
+
+    One row per protocol; one column per execution class observed in the
+    sweep, holding the ``A``/``V``/``T`` properties that held in *every*
+    trial of that class; plus the Table 1 cell the registry claims for the
+    protocol (``-`` for unregistered protocols such as ablation variants).
+    """
+    from repro.protocols.registry import all_protocols
+
+    registry = all_protocols()
+    rows = []
+    for row in sweep.robustness_rows():
+        info = registry.get(row["protocol"])
+        cell = str(info.cell) if info is not None and info.cell is not None else "-"
+        rows.append({**row, "claimed_cell": cell})
+    return rows
+
+
+def properties_by_fault_rows(sweep: SweepResult) -> List[Dict[str, Any]]:
+    """One row per protocol, one column per fault plan in the sweep.
+
+    Each cell is the compact label of the properties that held in every trial
+    of that (protocol, fault plan) pair — the shape of the shoot-out
+    example's "what survives a crash / a network failure" summary.
+    """
+    by_protocol: Dict[str, Dict[str, list]] = {}
+    fault_labels: List[str] = []
+    for trial in sweep.trials:
+        per_fault = by_protocol.setdefault(trial.protocol, {})
+        per_fault.setdefault(trial.fault_label, []).append(trial)
+        if trial.fault_label not in fault_labels:
+            fault_labels.append(trial.fault_label)
+    rows = []
+    for protocol in sorted(by_protocol):
+        row: Dict[str, Any] = {"protocol": protocol}
+        for label in fault_labels:
+            trials = by_protocol[protocol].get(label, [])
+            if not trials:
+                row[label] = "-"
+                continue
+            row[label] = held_label(trials) or "∅"
+        rows.append(row)
+    return rows

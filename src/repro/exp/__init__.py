@@ -1,0 +1,59 @@
+"""repro.exp — the declarative, parallel experiment-sweep engine.
+
+The paper (Guerraoui & Wang, PODS 2017) is fundamentally comparative: INBAC
+against 2PC/3PC/Paxos-Commit across system sizes, resilience levels and delay
+regimes.  This package turns those cross-product comparisons into one-liners:
+
+* :mod:`repro.exp.spec` — :class:`GridSpec` declares *what* to run
+  (protocol x (n, f) x delay model x fault plan x votes x seed) and expands
+  it into deterministic :class:`TrialSpec` records;
+* :mod:`repro.exp.engine` — :func:`run_sweep` fans the trials out across
+  worker processes (serial fallback included) with per-trial derived seeding,
+  so parallel and serial sweeps produce byte-identical aggregates;
+* :mod:`repro.exp.results` — :class:`SweepResult` aggregates the structured
+  per-trial measurements into table rows for :mod:`repro.analysis`.
+
+Example
+-------
+>>> from repro.exp import GridSpec, run_sweep
+>>> sweep = run_sweep(GridSpec(
+...     protocols=["INBAC", "2PC", "PaxosCommit"],
+...     systems=[(5, 2), (8, 3)],
+... ), workers=4)
+>>> rows = sweep.aggregate_rows()   # ready for repro.analysis.render_table
+"""
+
+from repro.exp.engine import run_sweep, run_trial, run_trials
+from repro.exp.results import SweepResult, TrialResult
+from repro.exp.spec import (
+    DelaySpec,
+    FaultSpec,
+    GridSpec,
+    ProtocolSpec,
+    TrialSpec,
+    VoteSpec,
+    all_no,
+    all_yes,
+    fixed_votes,
+    make_cases,
+    one_no,
+)
+
+__all__ = [
+    "DelaySpec",
+    "FaultSpec",
+    "GridSpec",
+    "ProtocolSpec",
+    "SweepResult",
+    "TrialResult",
+    "TrialSpec",
+    "VoteSpec",
+    "all_no",
+    "all_yes",
+    "fixed_votes",
+    "make_cases",
+    "one_no",
+    "run_sweep",
+    "run_trial",
+    "run_trials",
+]

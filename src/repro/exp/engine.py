@@ -1,0 +1,188 @@
+"""The sweep executor: fan trials out over worker processes, deterministically.
+
+Design constraints, in order:
+
+1. **Parallel == serial, exactly.**  Every trial's RNG seed is derived from
+   its grid coordinates (:attr:`~repro.exp.spec.TrialSpec.derived_seed`), so
+   the schedule a trial sees is independent of which worker runs it.  Results
+   are re-ordered by trial index before aggregation.  A sweep with
+   ``workers=8`` therefore produces byte-identical aggregates to ``workers=1``
+   (asserted by :meth:`~repro.exp.results.SweepResult.fingerprint`).
+
+2. **Arbitrary specs, including closures.**  Fault plans and delay models in
+   this repo routinely carry lambdas (payload predicates, adversarial delay
+   functions) that cannot cross a pickling process boundary.  The pool
+   therefore uses the ``fork`` start method and ships the trial list to the
+   workers *by inheritance*: the parent parks it in a module-level slot that
+   the forked children share, and only integer trial indices and plain-data
+   :class:`~repro.exp.results.TrialResult` records travel over the queues.
+
+3. **Serial fallback.**  Where ``fork`` is unavailable (non-POSIX platforms)
+   or the sweep is too small to amortise worker start-up, the engine runs the
+   same trial loop in-process.  ``SweepResult.meta["mode"]`` records which
+   path ran.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.checker import check_nbac
+from repro.exp.results import SweepResult, TrialResult
+from repro.exp.spec import GridSpec, TrialSpec
+from repro.sim.runner import Simulation, SimulationResult
+
+#: a collector receives (trial, result) in the worker and returns extra
+#: picklable data to attach to the TrialResult (e.g. protocol-internal state
+#: such as INBAC's branch log, which never leaves the worker otherwise).
+Collector = Callable[[TrialSpec, SimulationResult], Dict[str, Any]]
+
+#: below this many trials a pool costs more than it saves
+_MIN_TRIALS_FOR_POOL = 4
+
+# ships (trials, collector) to forked workers by memory inheritance
+_WORKER_TRIALS: List[TrialSpec] = []
+_WORKER_COLLECTOR: Optional[Collector] = None
+
+
+def run_trial(trial: TrialSpec, collector: Optional[Collector] = None) -> TrialResult:
+    """Run one trial to completion and condense it into a TrialResult."""
+    base = TrialResult(
+        index=trial.index,
+        protocol=trial.protocol.label,
+        n=trial.n,
+        f=trial.f,
+        delay_label=trial.delay.label,
+        fault_label=trial.fault.label,
+        votes_label=trial.votes.label,
+        base_seed=trial.base_seed,
+        derived_seed=trial.derived_seed,
+    )
+    try:
+        seed = trial.derived_seed
+        sim = Simulation(
+            n=trial.n,
+            f=trial.f,
+            process_class=trial.protocol.cls,
+            delay_model=trial.delay.factory(seed),
+            fault_plan=trial.fault.factory(),
+            seed=seed,
+            max_time=trial.max_time,
+            protocol_kwargs=trial.protocol.protocol_kwargs(),
+        )
+        result = sim.run(trial.votes.pattern(trial.n))
+    except Exception:
+        base.error = traceback.format_exc(limit=8)
+        return base
+
+    trace = result.trace
+    report = check_nbac(trace)
+    base.execution_class = trace.metadata.get("execution_class", "failure-free")
+    base.decisions = result.decisions()
+    base.decision_latencies = sorted(
+        rec.time for rec in trace.decisions.values()
+    )
+    base.first_decision = trace.first_decision_time()
+    base.last_decision = trace.last_decision_time()
+    base.messages_total = trace.message_count()
+    base.messages_main = trace.message_count(module="main")
+    base.messages_consensus = base.messages_total - base.messages_main
+    last = trace.last_decision_time()
+    base.messages_until_last_decision = (
+        trace.messages_received_by(last) if last is not None else base.messages_total
+    )
+    base.agreement = report.agreement.holds
+    base.validity = report.validity.holds
+    base.termination = report.termination.holds
+    base.crashes = dict(trace.crashes)
+    if collector is not None:
+        base.extra = dict(collector(trial, result) or {})
+    return base
+
+
+# --------------------------------------------------------------------------- #
+# worker plumbing (fork start method only; see module docstring)
+# --------------------------------------------------------------------------- #
+def _pool_init(trials: List[TrialSpec], collector: Optional[Collector]) -> None:
+    global _WORKER_TRIALS, _WORKER_COLLECTOR
+    _WORKER_TRIALS = trials
+    _WORKER_COLLECTOR = collector
+
+
+def _run_index(index: int) -> TrialResult:
+    return run_trial(_WORKER_TRIALS[index], _WORKER_COLLECTOR)
+
+
+def _resolve_workers(workers: Optional[int], n_trials: int) -> int:
+    if workers is None:
+        env = os.environ.get("REPRO_EXP_WORKERS")
+        workers = int(env) if env else (os.cpu_count() or 1)
+    return max(1, min(int(workers), n_trials))
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def run_trials(
+    trials: Sequence[TrialSpec],
+    workers: Optional[int] = None,
+    collector: Optional[Collector] = None,
+) -> SweepResult:
+    """Run an explicit trial list (see :func:`repro.exp.spec.make_cases`)."""
+    trials = list(trials)
+    n_workers = _resolve_workers(workers, len(trials))
+    use_pool = (
+        n_workers > 1 and len(trials) >= _MIN_TRIALS_FOR_POOL and _fork_available()
+    )
+    mode = "parallel" if use_pool else "serial"
+    if use_pool:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(
+            processes=n_workers, initializer=_pool_init, initargs=(trials, collector)
+        ) as pool:
+            chunk = max(1, len(trials) // (n_workers * 4))
+            results = pool.map(_run_index, range(len(trials)), chunksize=chunk)
+    else:
+        results = [run_trial(trial, collector) for trial in trials]
+    return SweepResult(
+        trials=results,
+        meta={
+            "mode": mode,
+            "workers": n_workers if use_pool else 1,
+            "requested_workers": workers,
+            "trials": len(trials),
+        },
+    )
+
+
+def run_sweep(
+    grid: Union[GridSpec, Sequence[TrialSpec]],
+    workers: Optional[int] = None,
+    collector: Optional[Collector] = None,
+) -> SweepResult:
+    """Expand a grid and run every trial, fanning out across workers.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`~repro.exp.spec.GridSpec` (or an already-expanded trial
+        list) describing the protocol x (n, f) x delay x fault x votes x seed
+        cross product.
+    workers:
+        Worker process count.  ``None`` means "one per CPU" (overridable via
+        the ``REPRO_EXP_WORKERS`` environment variable); ``1`` forces the
+        serial path.  Parallel and serial runs produce identical results.
+    collector:
+        Optional per-trial hook run *inside the worker* with the live
+        :class:`~repro.sim.runner.SimulationResult`; whatever picklable dict
+        it returns lands in ``TrialResult.extra``.
+    """
+    trials = grid.trials() if isinstance(grid, GridSpec) else list(grid)
+    return run_trials(trials, workers=workers, collector=collector)

@@ -1,0 +1,280 @@
+"""Structured sweep results and their deterministic aggregation.
+
+Workers return :class:`TrialResult` records — plain picklable data, no traces
+and no live process objects — and :class:`SweepResult` turns the flat trial
+list into the shapes the rest of the repo consumes: per-coordinate aggregate
+rows for :func:`repro.analysis.render.render_table`, robustness summaries in
+the style of Table 5's bottom row, and a canonical fingerprint used to assert
+that two sweeps (e.g. a serial and a parallel run of the same grid) produced
+byte-identical aggregates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+GroupKey = Tuple[str, int, int, str, str, str]
+
+#: property label + the TrialResult attribute that records whether it held
+_PROPERTIES = (("A", "agreement"), ("V", "validity"), ("T", "termination"))
+
+
+def held_label(trials: Iterable["TrialResult"]) -> str:
+    """Compact ``"AVT"``-style label of the properties that held in *every* trial."""
+    trials = list(trials)
+    return "".join(
+        label
+        for label, attr in _PROPERTIES
+        if all(getattr(t, attr) for t in trials)
+    )
+
+
+@dataclass
+class TrialResult:
+    """Everything measured in one simulated execution, ready to pickle.
+
+    ``decision_latencies`` holds each deciding process' decision time in
+    units of the delay bound ``U``, sorted ascending — the raw material for
+    latency distributions across a sweep.
+    """
+
+    index: int
+    protocol: str
+    n: int
+    f: int
+    delay_label: str
+    fault_label: str
+    votes_label: str
+    base_seed: int
+    derived_seed: int
+    execution_class: str = "failure-free"
+    decisions: Dict[int, Any] = field(default_factory=dict)
+    decision_latencies: List[float] = field(default_factory=list)
+    first_decision: Optional[float] = None
+    last_decision: Optional[float] = None
+    messages_total: int = 0
+    messages_main: int = 0
+    messages_consensus: int = 0
+    messages_until_last_decision: int = 0
+    agreement: bool = True
+    validity: bool = True
+    termination: bool = True
+    crashes: Dict[int, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> GroupKey:
+        return (
+            self.protocol,
+            self.n,
+            self.f,
+            self.delay_label,
+            self.fault_label,
+            self.votes_label,
+        )
+
+    @property
+    def decided(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def all_committed(self) -> bool:
+        return bool(self.decisions) and set(self.decisions.values()) == {1}
+
+    def solves_nbac(self) -> bool:
+        return self.agreement and self.validity and self.termination
+
+    def held_label(self) -> str:
+        """Compact ``"AVT"``-style label of the properties that held."""
+        return held_label([self])
+
+    def as_row(self) -> Dict[str, Any]:
+        """One flat dict per trial (render_table- and JSON-friendly)."""
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "f": self.f,
+            "delay": self.delay_label,
+            "fault": self.fault_label,
+            "votes": self.votes_label,
+            "seed": self.base_seed,
+            "class": self.execution_class,
+            "decided": self.decided,
+            "outcome": "commit" if self.all_committed else
+                       ("abort" if self.decisions and set(self.decisions.values()) == {0}
+                        else "mixed/none"),
+            "delays": self.last_decision,
+            "messages": self.messages_until_last_decision,
+            "messages_sent": self.messages_total,
+            "properties": self.held_label(),
+        }
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile over an already-sorted sequence."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class SweepResult:
+    """All trials of one sweep plus how the sweep was executed."""
+
+    trials: List[TrialResult]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.trials = sorted(self.trials, key=lambda t: t.index)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self):
+        return iter(self.trials)
+
+    # ------------------------------------------------------------------ #
+    # selection
+    # ------------------------------------------------------------------ #
+    def errors(self) -> List[TrialResult]:
+        return [t for t in self.trials if t.error is not None]
+
+    def select(self, **criteria: Any) -> List[TrialResult]:
+        """Trials whose attributes match all keyword criteria.
+
+        >>> sweep.select(protocol="INBAC", fault_label="failure-free")
+        """
+        out = []
+        for trial in self.trials:
+            if all(getattr(trial, attr) == wanted for attr, wanted in criteria.items()):
+                out.append(trial)
+        return out
+
+    def trial_rows(self) -> List[Dict[str, Any]]:
+        return [t.as_row() for t in self.trials]
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def groups(self) -> Dict[GroupKey, List[TrialResult]]:
+        """Trials grouped by grid coordinates (all seeds of one cell together)."""
+        grouped: Dict[GroupKey, List[TrialResult]] = {}
+        for trial in self.trials:
+            grouped.setdefault(trial.key(), []).append(trial)
+        return grouped
+
+    def aggregate_rows(self) -> List[Dict[str, Any]]:
+        """One row per grid cell, averaged over seeds — ready for render_table.
+
+        Row order and contents are a pure function of the trial list, so a
+        parallel sweep aggregates identically to a serial one.
+        """
+        rows: List[Dict[str, Any]] = []
+        for key, trials in sorted(self.groups().items(), key=lambda kv: kv[1][0].index):
+            protocol, n, f, delay, fault, votes = key
+            latencies = sorted(
+                lat for t in trials for lat in t.decision_latencies
+            )
+            last_decisions = [t.last_decision for t in trials if t.last_decision is not None]
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "n": n,
+                    "f": f,
+                    "delay": delay,
+                    "fault": fault,
+                    "votes": votes,
+                    "trials": len(trials),
+                    "class": trials[0].execution_class,
+                    "commit_rate": round(
+                        sum(1 for t in trials if t.all_committed) / len(trials), 6
+                    ),
+                    "solved_rate": round(
+                        sum(1 for t in trials if t.solves_nbac()) / len(trials), 6
+                    ),
+                    "mean_delays": _round_opt(_mean(last_decisions)),
+                    "max_delays": max(last_decisions) if last_decisions else None,
+                    "p50_latency": _round_opt(_percentile(latencies, 50)),
+                    "p99_latency": _round_opt(_percentile(latencies, 99)),
+                    "mean_messages": _round_opt(
+                        _mean([t.messages_until_last_decision for t in trials])
+                    ),
+                    "mean_messages_sent": _round_opt(
+                        _mean([t.messages_total for t in trials])
+                    ),
+                    "properties": held_label(trials),
+                }
+            )
+        return rows
+
+    def robustness_rows(self) -> List[Dict[str, Any]]:
+        """Per protocol, which properties held in *every* trial of each class.
+
+        The paper's quantifier ("every crash-failure execution satisfies X"),
+        computed across whatever fault plans the sweep ran: one row per
+        protocol with one ``A``/``V``/``T`` label per execution class seen.
+        """
+        by_protocol: Dict[str, Dict[str, List[TrialResult]]] = {}
+        classes_seen: List[str] = []
+        for trial in self.trials:
+            per_class = by_protocol.setdefault(trial.protocol, {})
+            per_class.setdefault(trial.execution_class, []).append(trial)
+            if trial.execution_class not in classes_seen:
+                classes_seen.append(trial.execution_class)
+        rows = []
+        for protocol in sorted(by_protocol):
+            row: Dict[str, Any] = {"protocol": protocol}
+            for cls in classes_seen:
+                trials = by_protocol[protocol].get(cls, [])
+                row[cls] = held_label(trials) if trials else "-"
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # reproducibility
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Canonical digest of all trial data (excludes execution metadata).
+
+        Two sweeps of the same grid — serial or parallel, any worker count —
+        must produce the same fingerprint; determinism tests assert exactly
+        that.
+        """
+        canonical = json.dumps(
+            [_canonical_trial(t) for t in self.trials],
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def aggregate_fingerprint(self) -> str:
+        """Digest of the aggregate rows only (what reports are built from)."""
+        canonical = json.dumps(
+            self.aggregate_rows(), sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _canonical_trial(trial: TrialResult) -> Dict[str, Any]:
+    data = asdict(trial)
+    # dict keys become strings in JSON; make that explicit and ordered
+    data["decisions"] = {str(k): v for k, v in sorted(trial.decisions.items())}
+    data["crashes"] = {str(k): v for k, v in sorted(trial.crashes.items())}
+    return data
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def _round_opt(value: Optional[float], digits: int = 6) -> Optional[float]:
+    return None if value is None else round(value, digits)

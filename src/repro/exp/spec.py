@@ -1,0 +1,386 @@
+"""Declarative experiment grids: what to run, not how to run it.
+
+A :class:`GridSpec` names one value set per experimental axis —
+
+* **protocol** — registry names, process classes, or ``(label, class)`` pairs;
+* **system size** — ``(n, f)`` pairs;
+* **delay model** — factories so each trial gets a *fresh*, per-trial-seeded
+  model (stateful models such as :class:`~repro.sim.network.UniformDelay`
+  carry an RNG and must never be shared between trials);
+* **fault plan** — plans or plan factories, rebuilt per trial because
+  :class:`~repro.sim.faults.DelayRule` tracks match counts internally;
+* **votes** — named vote patterns, functions of ``n``;
+* **seed** — base seeds, one full grid repetition each
+
+— and expands their cross product into a flat list of :class:`TrialSpec`
+records.  Each trial carries a *derived* seed computed from the base seed and
+the trial's coordinates, so the seed a trial uses is a pure function of what
+the trial *is*, never of where in the sweep (or on which worker process) it
+runs.  That property is what makes parallel and serial sweeps bit-identical.
+
+For batteries that are not cross products (e.g. hand-picked scenario lists
+where votes and fault plan vary together), build :class:`TrialSpec` lists
+directly with :func:`make_cases`.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import inspect
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.faults import FaultPlan
+from repro.sim.network import DelayModel, FixedDelay
+
+# --------------------------------------------------------------------------- #
+# vote patterns
+# --------------------------------------------------------------------------- #
+
+
+def all_yes(n: int) -> List[int]:
+    """Every process votes 1 (the nice-execution vote vector)."""
+    return [1] * n
+
+
+def all_no(n: int) -> List[int]:
+    return [0] * n
+
+
+def one_no(pid: int) -> Callable[[int], List[int]]:
+    """Everyone votes 1 except process ``pid``."""
+
+    def pattern(n: int) -> List[int]:
+        votes = [1] * n
+        if not 1 <= pid <= n:
+            raise ConfigurationError(f"one_no({pid}) used with n={n}")
+        votes[pid - 1] = 0
+        return votes
+
+    return pattern
+
+
+def fixed_votes(values: Sequence[int]) -> Callable[[int], List[int]]:
+    """A literal vote vector; only valid for the matching ``n``."""
+
+    def pattern(n: int) -> List[int]:
+        if len(values) != n:
+            raise ConfigurationError(
+                f"fixed vote vector has {len(values)} entries but n={n}"
+            )
+        return list(values)
+
+    return pattern
+
+
+# --------------------------------------------------------------------------- #
+# axis specs
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol column of the sweep."""
+
+    label: str
+    cls: type
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def protocol_kwargs(self) -> Dict[str, Any]:
+        return dict(self.kwargs)
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """A named delay-model factory; called once per trial with the trial seed."""
+
+    label: str
+    factory: Callable[[int], DelayModel]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A named fault-plan factory; called once per trial (plans are stateful)."""
+
+    label: str
+    factory: Callable[[], FaultPlan]
+
+
+@dataclass(frozen=True)
+class VoteSpec:
+    """A named vote pattern, a function of ``n``."""
+
+    label: str
+    pattern: Callable[[int], List[int]]
+
+
+# Accepted shorthand for each axis (normalised by the coerce_* helpers below).
+ProtocolLike = Union[str, type, Tuple[str, type], ProtocolSpec]
+DelayLike = Union[None, DelayModel, Tuple[str, Callable[..., DelayModel]], DelaySpec]
+FaultLike = Union[None, FaultPlan, Tuple[str, Union[FaultPlan, Callable[[], FaultPlan]]], FaultSpec]
+VoteLike = Union[str, Tuple[str, Callable[[int], List[int]]], VoteSpec]
+
+_NAMED_PATTERNS: Dict[str, Callable[[int], List[int]]] = {
+    "all-yes": all_yes,
+    "all-no": all_no,
+}
+
+
+def coerce_protocol(value: ProtocolLike) -> ProtocolSpec:
+    if isinstance(value, ProtocolSpec):
+        return value
+    if isinstance(value, str):
+        # resolved against the registry lazily to avoid import cycles
+        from repro.protocols.registry import get_protocol
+
+        info = get_protocol(value)
+        return ProtocolSpec(label=value, cls=info.cls)
+    if isinstance(value, tuple):
+        label, cls = value
+        return ProtocolSpec(label=label, cls=cls)
+    if isinstance(value, type):
+        return ProtocolSpec(label=getattr(value, "protocol_name", value.__name__), cls=value)
+    raise ConfigurationError(f"cannot interpret {value!r} as a protocol axis value")
+
+
+def coerce_delay(value: DelayLike) -> DelaySpec:
+    if isinstance(value, DelaySpec):
+        return value
+    if value is None:
+        return DelaySpec(label="U=1", factory=lambda seed: FixedDelay(1.0))
+    if isinstance(value, tuple):
+        label, factory = value
+        return DelaySpec(label=label, factory=_seed_aware(factory))
+    if hasattr(value, "delay") and hasattr(value, "bound"):
+        # A model instance: deep-copied per trial so RNG state is never
+        # shared, then reseeded with the trial seed — otherwise every seed on
+        # the seeds axis would replay the identical delay sequence.
+        template = value
+        label = type(value).__name__
+
+        def build_from_template(seed: int) -> DelayModel:
+            model = copy.deepcopy(template)
+            rng = getattr(model, "_rng", None)
+            if isinstance(rng, random.Random):
+                rng.seed(seed)
+            return model
+
+        return DelaySpec(label=label, factory=build_from_template)
+    raise ConfigurationError(f"cannot interpret {value!r} as a delay axis value")
+
+
+def _seed_aware(factory: Callable[..., DelayModel]) -> Callable[[int], DelayModel]:
+    """Wrap a factory so it may take the trial seed or no argument at all.
+
+    Arity is decided by signature inspection, not by catching TypeError — a
+    TypeError raised *inside* the factory body must propagate as-is rather
+    than trigger a misleading second, argument-less call.
+    """
+    try:
+        takes_seed = any(
+            p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL)
+            for p in inspect.signature(factory).parameters.values()
+        )
+    except (TypeError, ValueError):  # builtins / C callables without signatures
+        takes_seed = True
+
+    def build(seed: int) -> DelayModel:
+        return factory(seed) if takes_seed else factory()
+
+    return build
+
+
+def _fresh_plan(plan: FaultPlan) -> FaultPlan:
+    """Rebuild a plan with pristine DelayRules (their match counters reset)."""
+    rules = [dataclasses.replace(rule) for rule in plan.delay_rules]
+    return FaultPlan(crashes=dict(plan.crashes), delay_rules=rules, description=plan.description)
+
+
+def coerce_fault(value: FaultLike) -> FaultSpec:
+    if isinstance(value, FaultSpec):
+        return value
+    if value is None:
+        return FaultSpec(label="failure-free", factory=FaultPlan.failure_free)
+    if isinstance(value, FaultPlan):
+        label = value.description or "fault-plan"
+        return FaultSpec(label=label, factory=lambda plan=value: _fresh_plan(plan))
+    if isinstance(value, tuple):
+        label, plan_or_factory = value
+        if isinstance(plan_or_factory, FaultPlan):
+            return FaultSpec(
+                label=label, factory=lambda plan=plan_or_factory: _fresh_plan(plan)
+            )
+        if plan_or_factory is None:
+            return FaultSpec(label=label, factory=FaultPlan.failure_free)
+        return FaultSpec(label=label, factory=plan_or_factory)
+    raise ConfigurationError(f"cannot interpret {value!r} as a fault axis value")
+
+
+def coerce_votes(value: VoteLike) -> VoteSpec:
+    if isinstance(value, VoteSpec):
+        return value
+    if isinstance(value, str):
+        try:
+            return VoteSpec(label=value, pattern=_NAMED_PATTERNS[value])
+        except KeyError as exc:
+            known = ", ".join(sorted(_NAMED_PATTERNS))
+            raise ConfigurationError(
+                f"unknown vote pattern {value!r}; known: {known}"
+            ) from exc
+    if isinstance(value, tuple):
+        label, pattern = value
+        if not callable(pattern):
+            pattern = fixed_votes(pattern)
+        return VoteSpec(label=label, pattern=pattern)
+    raise ConfigurationError(f"cannot interpret {value!r} as a votes axis value")
+
+
+# --------------------------------------------------------------------------- #
+# trials
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-determined simulation run of a sweep."""
+
+    index: int
+    protocol: ProtocolSpec
+    n: int
+    f: int
+    delay: DelaySpec
+    fault: FaultSpec
+    votes: VoteSpec
+    base_seed: int
+    max_time: float = 500.0
+
+    def key(self) -> Tuple[str, int, int, str, str, str]:
+        """The trial's grid coordinates (everything except the seed)."""
+        return (
+            self.protocol.label,
+            self.n,
+            self.f,
+            self.delay.label,
+            self.fault.label,
+            self.votes.label,
+        )
+
+    @property
+    def derived_seed(self) -> int:
+        """Per-trial seed: a pure function of coordinates + base seed.
+
+        Independent of trial order and of which worker runs the trial, which
+        is what makes parallel sweeps reproduce serial ones exactly.
+        """
+        material = "|".join(str(part) for part in (self.base_seed, *self.key()))
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class GridSpec:
+    """The cross product protocol x (n, f) x delay x fault x votes x seed."""
+
+    protocols: Sequence[ProtocolLike] = ()
+    systems: Sequence[Tuple[int, int]] = ((5, 2),)
+    delays: Sequence[DelayLike] = (None,)
+    faults: Sequence[FaultLike] = (None,)
+    votes: Sequence[VoteLike] = ("all-yes",)
+    seeds: Sequence[int] = (0,)
+    max_time: float = 500.0
+
+    def __post_init__(self) -> None:
+        if not self.protocols:
+            # registry-driven default: sweep every implemented protocol
+            from repro.protocols.registry import protocol_names
+
+            self.protocols = tuple(protocol_names())
+        self._protocol_specs = [coerce_protocol(p) for p in self.protocols]
+        self._delay_specs = [coerce_delay(d) for d in self.delays]
+        self._fault_specs = [coerce_fault(fp) for fp in self.faults]
+        self._vote_specs = [coerce_votes(v) for v in self.votes]
+        for n, f in self.systems:
+            if not 1 <= f <= n - 1:
+                raise ConfigurationError(f"invalid system size (n={n}, f={f})")
+        labels = [p.label for p in self._protocol_specs]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"duplicate protocol labels in grid: {labels}")
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self._protocol_specs)
+            * len(self.systems)
+            * len(self._delay_specs)
+            * len(self._fault_specs)
+            * len(self._vote_specs)
+            * len(self.seeds)
+        )
+
+    def trials(self) -> List[TrialSpec]:
+        """Expand the grid into its flat, deterministically-ordered trial list."""
+        out: List[TrialSpec] = []
+        index = 0
+        for protocol in self._protocol_specs:
+            for n, f in self.systems:
+                for delay in self._delay_specs:
+                    for fault in self._fault_specs:
+                        for votes in self._vote_specs:
+                            for seed in self.seeds:
+                                out.append(
+                                    TrialSpec(
+                                        index=index,
+                                        protocol=protocol,
+                                        n=n,
+                                        f=f,
+                                        delay=delay,
+                                        fault=fault,
+                                        votes=votes,
+                                        base_seed=seed,
+                                        max_time=self.max_time,
+                                    )
+                                )
+                                index += 1
+        return out
+
+
+def make_cases(
+    cases: Sequence[Dict[str, Any]],
+    *,
+    max_time: float = 500.0,
+    base_seed: int = 0,
+) -> List[TrialSpec]:
+    """Build trials from explicit per-case dicts (for non-cross-product batteries).
+
+    Each case dict may contain ``protocol``, ``n``, ``f``, ``delay``,
+    ``fault``, ``votes``, ``seed`` and ``max_time``; missing entries fall back
+    to the defaults above.  Example::
+
+        trials = make_cases([
+            {"protocol": "INBAC", "n": 5, "f": 2, "votes": ("one-no", [1, 1, 0, 1, 1])},
+            {"protocol": "INBAC", "n": 5, "f": 2, "fault": ("crash P1", FaultPlan.crash(1))},
+        ])
+    """
+    out: List[TrialSpec] = []
+    for index, case in enumerate(cases):
+        unknown = set(case) - {"protocol", "n", "f", "delay", "fault", "votes", "seed", "max_time"}
+        if unknown:
+            raise ConfigurationError(f"unknown case keys: {sorted(unknown)}")
+        out.append(
+            TrialSpec(
+                index=index,
+                protocol=coerce_protocol(case.get("protocol", "INBAC")),
+                n=int(case.get("n", 5)),
+                f=int(case.get("f", 2)),
+                delay=coerce_delay(case.get("delay")),
+                fault=coerce_fault(case.get("fault")),
+                votes=coerce_votes(case.get("votes", "all-yes")),
+                base_seed=int(case.get("seed", base_seed)),
+                max_time=float(case.get("max_time", max_time)),
+            )
+        )
+    return out

@@ -1,0 +1,274 @@
+"""Tests for the experiment-sweep engine (:mod:`repro.exp`).
+
+The three contract pillars:
+
+* **same-seed determinism** — running the same grid twice produces identical
+  results, down to the canonical fingerprint;
+* **parallel == serial** — a multi-worker sweep reproduces the serial sweep's
+  per-trial results and aggregates exactly;
+* **registry-driven enumeration** — an unspecified protocol axis sweeps every
+  protocol in :mod:`repro.protocols.registry`, and the failure-free trials
+  confirm each one solves NBAC.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp import (
+    GridSpec,
+    TrialSpec,
+    all_yes,
+    make_cases,
+    run_sweep,
+    run_trial,
+    run_trials,
+)
+from repro.exp.results import _percentile
+from repro.exp.spec import coerce_delay, coerce_fault, coerce_protocol, coerce_votes
+from repro.protocols.inbac import INBAC
+from repro.protocols.registry import all_protocols, get_protocol, protocol_names
+from repro.sim.faults import DelayRule, FaultPlan
+from repro.sim.network import UniformDelay
+
+
+def stochastic_grid(seeds=(0, 1)):
+    """A grid whose results depend on per-trial RNG state (UniformDelay)."""
+    return GridSpec(
+        protocols=["INBAC", "2PC", "PaxosCommit", "1NBAC"],
+        systems=[(4, 1), (5, 2), (6, 2)],
+        delays=[None, ("uniform", lambda seed: UniformDelay(0.2, 1.0, seed=seed))],
+        faults=[None, ("crash P1", FaultPlan.crash(1, at=0.0))],
+        seeds=list(seeds),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# grid expansion
+# --------------------------------------------------------------------------- #
+class TestGridSpec:
+    def test_size_and_expansion(self):
+        grid = stochastic_grid()
+        assert grid.size == 4 * 3 * 2 * 2 * 1 * 2
+        trials = grid.trials()
+        assert len(trials) == grid.size
+        assert [t.index for t in trials] == list(range(grid.size))
+
+    def test_registry_driven_default_protocol_axis(self):
+        grid = GridSpec(systems=[(5, 2)])
+        labels = [coerce_protocol(p).label for p in grid.protocols]
+        assert labels == protocol_names()
+
+    def test_invalid_system_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridSpec(protocols=["INBAC"], systems=[(3, 3)])
+
+    def test_duplicate_protocol_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridSpec(protocols=["INBAC", ("INBAC", INBAC)])
+
+    def test_unknown_vote_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridSpec(protocols=["INBAC"], votes=["most-yes"])
+
+    def test_derived_seed_is_order_independent(self):
+        proto = coerce_protocol("INBAC")
+        mk = lambda index, base: TrialSpec(
+            index=index,
+            protocol=proto,
+            n=5,
+            f=2,
+            delay=coerce_delay(None),
+            fault=coerce_fault(None),
+            votes=coerce_votes("all-yes"),
+            base_seed=base,
+        )
+        # the derived seed depends on coordinates + base seed, not the index
+        assert mk(0, 7).derived_seed == mk(99, 7).derived_seed
+        assert mk(0, 7).derived_seed != mk(0, 8).derived_seed
+
+    def test_make_cases_joint_axes(self):
+        trials = make_cases(
+            [
+                {"protocol": "INBAC", "n": 5, "f": 2, "votes": ("one-no", [1, 1, 0, 1, 1])},
+                {"protocol": "INBAC", "n": 5, "f": 2, "fault": ("crash P1", FaultPlan.crash(1))},
+            ]
+        )
+        assert [t.votes.label for t in trials] == ["one-no", "all-yes"]
+        assert [t.fault.label for t in trials] == ["failure-free", "crash P1"]
+
+    def test_make_cases_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            make_cases([{"protocol": "INBAC", "workers": 4}])
+
+
+# --------------------------------------------------------------------------- #
+# single trials
+# --------------------------------------------------------------------------- #
+class TestRunTrial:
+    def test_nice_execution_measurements(self):
+        trial = make_cases([{"protocol": "INBAC", "n": 5, "f": 2}])[0]
+        result = run_trial(trial)
+        assert result.error is None
+        assert result.execution_class == "failure-free"
+        assert result.all_committed
+        assert result.solves_nbac()
+        assert result.held_label() == "AVT"
+        # nice-execution complexity matches the registry oracle
+        info = get_protocol("INBAC")
+        assert result.last_decision == info.expected_delays(5, 2)
+        assert result.messages_main == info.expected_messages(5, 2)
+
+    def test_fault_plan_state_not_shared_between_trials(self):
+        # nth_match makes DelayRule stateful; a shared plan instance must be
+        # rebuilt per trial or the second trial would see a spent counter
+        plan = FaultPlan(
+            delay_rules=[DelayRule(nth_match=0, delay=50.0)], description="first msg late"
+        )
+        grid = GridSpec(
+            protocols=["2PC"], systems=[(4, 1)], faults=[("late-first", plan)], seeds=[0, 1]
+        )
+        first, second = run_sweep(grid, workers=1).trials
+        assert first.last_decision == second.last_decision
+        assert first.messages_total == second.messages_total
+
+    def test_trial_error_is_captured_not_raised(self):
+        trial = make_cases([{"protocol": "INBAC", "n": 5, "f": 2,
+                             "votes": ("truncated", [1, 1])}])[0]
+        result = run_trial(trial)
+        assert result.error is not None and "ConfigurationError" in result.error
+
+    def test_delay_model_instance_reseeded_per_trial(self):
+        # the instance shorthand must not replay one RNG sequence across seeds
+        grid = GridSpec(
+            protocols=["2PC"],
+            systems=[(4, 1)],
+            delays=[UniformDelay(0.2, 1.0)],
+            seeds=[0, 1, 2, 3],
+        )
+        sweep = run_sweep(grid, workers=1)
+        assert not sweep.errors()
+        assert len({tuple(t.decision_latencies) for t in sweep.trials}) > 1
+
+    def test_factory_internal_typeerror_propagates(self):
+        # a TypeError raised inside the factory body must not be mistaken for
+        # a wrong-arity call (which would re-invoke the factory and mask it)
+        def bad_factory(seed=0):
+            raise TypeError("inner bug")
+
+        spec = coerce_delay(("bad", bad_factory))
+        with pytest.raises(TypeError, match="inner bug"):
+            spec.factory(7)
+
+    def test_percentile_is_nearest_rank(self):
+        assert _percentile([1, 2, 3, 4, 5, 6], 50) == 3
+        assert _percentile(list(range(1, 101)), 99) == 99
+        assert _percentile([42], 99) == 42
+        assert _percentile([], 50) is None
+
+    def test_collector_attaches_extra(self):
+        trial = make_cases([{"protocol": "INBAC", "n": 5, "f": 2}])[0]
+        result = run_trial(trial, collector=lambda t, r: {"pids": sorted(r.processes)})
+        assert result.extra == {"pids": [1, 2, 3, 4, 5]}
+
+
+# --------------------------------------------------------------------------- #
+# determinism and parallel equivalence
+# --------------------------------------------------------------------------- #
+class TestDeterminism:
+    def test_same_seed_sweeps_are_identical(self):
+        sweep_a = run_sweep(stochastic_grid(), workers=1)
+        sweep_b = run_sweep(stochastic_grid(), workers=1)
+        assert not sweep_a.errors() and not sweep_b.errors()
+        assert sweep_a.fingerprint() == sweep_b.fingerprint()
+        assert sweep_a.aggregate_fingerprint() == sweep_b.aggregate_fingerprint()
+
+    def test_different_base_seed_changes_stochastic_trials(self):
+        sweep_a = run_sweep(stochastic_grid(seeds=(0,)), workers=1)
+        sweep_b = run_sweep(stochastic_grid(seeds=(2,)), workers=1)
+        a = [t for t in sweep_a.trials if t.delay_label == "uniform"]
+        b = [t for t in sweep_b.trials if t.delay_label == "uniform"]
+        assert [t.derived_seed for t in a] != [t.derived_seed for t in b]
+        # at least one measurement differs across the reseeded trials
+        assert any(
+            x.decision_latencies != y.decision_latencies for x, y in zip(a, b)
+        )
+
+    def test_parallel_reproduces_serial_exactly(self):
+        # >= 4 protocols x >= 3 (n, f) points, stochastic delays included
+        serial = run_sweep(stochastic_grid(), workers=1)
+        parallel = run_sweep(stochastic_grid(), workers=3)
+        assert serial.meta["mode"] == "serial"
+        if parallel.meta["mode"] != "parallel":
+            pytest.skip("fork start method unavailable; parallel path not exercised")
+        assert not parallel.errors()
+        assert parallel.fingerprint() == serial.fingerprint()
+        assert parallel.aggregate_fingerprint() == serial.aggregate_fingerprint()
+        assert parallel.aggregate_rows() == serial.aggregate_rows()
+
+    def test_parallel_handles_unpicklable_specs(self):
+        # lambdas in predicates/factories must survive the pool boundary
+        grid = GridSpec(
+            protocols=["INBAC", "2PC", "PaxosCommit", "3PC"],
+            systems=[(5, 2)],
+            faults=[
+                ("late tuples", FaultPlan(delay_rules=[
+                    DelayRule(predicate=lambda p: isinstance(p, tuple), delay=30.0)])),
+            ],
+            votes=[("one-no", lambda n: [0] + [1] * (n - 1))],
+        )
+        serial = run_sweep(grid, workers=1)
+        parallel = run_sweep(grid, workers=2)
+        if parallel.meta["mode"] != "parallel":
+            pytest.skip("fork start method unavailable; parallel path not exercised")
+        assert parallel.fingerprint() == serial.fingerprint()
+
+
+# --------------------------------------------------------------------------- #
+# registry sweep and aggregation
+# --------------------------------------------------------------------------- #
+class TestRegistrySweep:
+    def test_all_registry_protocols_solve_nbac_failure_free(self):
+        grid = GridSpec(systems=[(4, 1), (5, 2), (6, 2)], max_time=400)
+        sweep = run_sweep(grid)
+        assert not sweep.errors(), [t.error for t in sweep.errors()]
+        assert len(sweep) == len(all_protocols()) * 3
+        for trial in sweep:
+            assert trial.solves_nbac(), (trial.protocol, trial.n, trial.f)
+            assert trial.all_committed
+        # every registered protocol appears under its registry name
+        assert {t.protocol for t in sweep} == set(protocol_names())
+
+    def test_aggregate_rows_group_seeds(self):
+        grid = GridSpec(protocols=["INBAC", "2PC"], systems=[(5, 2)], seeds=[0, 1, 2])
+        sweep = run_sweep(grid, workers=1)
+        rows = sweep.aggregate_rows()
+        assert len(rows) == 2
+        for row in rows:
+            assert row["trials"] == 3
+            assert row["commit_rate"] == 1.0
+            assert row["properties"] == "AVT"
+        by_protocol = {r["protocol"]: r for r in rows}
+        # deterministic delays: INBAC decides in 2, the registry oracle agrees
+        assert by_protocol["INBAC"]["mean_delays"] == 2.0
+        assert by_protocol["INBAC"]["p99_latency"] == 2.0
+
+    def test_robustness_rows_quantify_over_trials(self):
+        grid = GridSpec(
+            protocols=["2PC", "INBAC"],
+            systems=[(5, 2)],
+            faults=[None, ("crash P1@1", FaultPlan.crash(1, at=1.0))],
+            max_time=400,
+        )
+        sweep = run_sweep(grid, workers=1)
+        rows = {r["protocol"]: r for r in sweep.robustness_rows()}
+        assert rows["INBAC"]["failure-free"] == "AVT"
+        assert rows["INBAC"]["crash-failure"] == "AVT"
+        # 2PC blocks when its coordinator crashes: termination lost
+        assert "T" not in rows["2PC"]["crash-failure"]
+
+    def test_select(self):
+        sweep = run_sweep(GridSpec(protocols=["INBAC", "2PC"], systems=[(5, 2)]), workers=1)
+        picked = sweep.select(protocol="2PC")
+        assert len(picked) == 1 and picked[0].protocol == "2PC"
