@@ -5,6 +5,10 @@ where the commit protocol dominates transaction latency.  The benchmark runs
 the same bank-transfer workload over the partitioned store once per commit
 protocol and compares commit latency (in message-delay units) and message
 volume, plus a contended (Helios-style) workload that produces aborts.
+
+Both batteries run as one :func:`repro.exp.run_sweep` each — the cluster
+transaction battery is a *workload axis* of the grid, so the per-protocol
+cluster runs fan out across worker processes like any other sweep.
 """
 
 from __future__ import annotations
@@ -12,30 +16,30 @@ from __future__ import annotations
 import pytest
 
 from _helpers import attach_rows
-from repro.analysis import render_table
-from repro.db import ClusterConfig, run_cluster
+from repro.analysis import cluster_summary_rows, render_table
+from repro.exp import GridSpec, run_sweep
 from repro.workloads import bank_transfer_workload, hotspot_workload
 
 PROTOCOLS = ["1NBAC", "2PC", "INBAC", "FasterPaxosCommit", "PaxosCommit", "3PC"]
 PARTITIONS = 6
 
 
-def run_shootout(workload):
-    rows = []
-    for protocol in PROTOCOLS:
-        config = ClusterConfig(
-            num_partitions=PARTITIONS, commit_protocol=protocol, commit_f=1, seed=7
-        )
-        report = run_cluster(config, workload.transactions)
-        rows.append(report.summary_row())
-    return rows
+def run_shootout(workload, label):
+    grid = GridSpec(
+        protocols=PROTOCOLS,
+        systems=[(PARTITIONS, 1)],
+        workloads=[(label, workload)],
+        seeds=[7],
+        max_time=2000.0,
+    )
+    return cluster_summary_rows(run_sweep(grid))
 
 
 def test_db_commit_latency_bank_transfers(benchmark):
     workload = bank_transfer_workload(
         num_transfers=12, num_partitions=PARTITIONS, seed=13
     )
-    rows = benchmark.pedantic(run_shootout, args=(workload,), rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_shootout, args=(workload, "bank"), rounds=1, iterations=1)
     by_protocol = {r["protocol"]: r for r in rows}
     # every protocol completes the workload
     assert all(r["incomplete"] == 0 for r in rows)
@@ -62,7 +66,7 @@ def test_db_commit_latency_contended_workload(benchmark):
         participants_per_txn=3,
         seed=21,
     )
-    rows = benchmark.pedantic(run_shootout, args=(workload,), rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_shootout, args=(workload, "hotspot"), rounds=1, iterations=1)
     assert all(r["incomplete"] == 0 for r in rows)
     # contention produces aborts under every protocol (the Helios-style
     # "vote no on conflict" behaviour), and the commit/abort split is

@@ -1,10 +1,12 @@
 """E5 — Table 5: INBAC vs (n-1+f)NBAC vs 1NBAC vs 2PC vs PaxosCommit vs
 Faster PaxosCommit, measured in nice executions.
 
-The message counts must match the paper's formulas exactly; the delay counts
-match for every protocol except the chain protocol, whose accounting
-convention differs by one unit (documented in repro.analysis.formulas).
-The comparative *shape* the paper highlights is asserted explicitly:
+The six protocols are measured by one :func:`repro.exp.run_sweep` over the
+nice-execution measurement grid.  The message counts must match the paper's
+formulas exactly; the delay counts match for every protocol except the chain
+protocol, whose accounting convention differs by one unit (documented in
+repro.analysis.formulas).  The comparative *shape* the paper highlights is
+asserted explicitly:
 
 * INBAC and 2PC have the same number of message delays;
 * for f = 1, INBAC uses exactly 2 messages more than 2PC;
@@ -17,15 +19,22 @@ from __future__ import annotations
 import pytest
 
 from _helpers import attach_rows
-from repro.analysis import build_table5, render_table
+from repro.analysis import build_table5, measurement_grid, render_table
 from repro.analysis.compare import compare_measured_to_paper
+from repro.exp import run_sweep
+from repro.protocols.registry import table5_protocols
 
 PARAMS = [(4, 1), (6, 2), (9, 2), (12, 3)]
 
 
+def build(n, f):
+    sweep = run_sweep(measurement_grid(table5_protocols(), n, f))
+    return build_table5(n, f, sweep=sweep)
+
+
 @pytest.mark.parametrize("n,f", PARAMS)
 def test_table5_protocol_shootout(benchmark, n, f):
-    rows, comparisons = benchmark.pedantic(build_table5, args=(n, f), rounds=3, iterations=1)
+    rows, comparisons = benchmark.pedantic(build, args=(n, f), rounds=3, iterations=1)
     assert len(rows) == 6
     by_protocol = {r["protocol"]: r for r in rows}
 

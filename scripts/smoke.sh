@@ -8,17 +8,21 @@
 #      regressions — e.g. the benchmarks/tests conftest collision — fail here);
 #   2. a sanity check that `pytest benchmarks` actually *collects* the
 #      bench_*.py experiments instead of silently reporting "no tests ran";
-#   3. one fast benchmark end-to-end;
-#   4. all four examples.
+#   3. a check that every benchmark runs on the repro.exp sweep engine
+#      (no hand-rolled protocol x grid loops may sneak back in);
+#   4. one small aggregate-mode sweep, asserting it reproduces the in-memory
+#      path's aggregate tables byte-for-byte;
+#   5. one fast benchmark end-to-end;
+#   6. all examples.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "==> [1/4] tier-1 tests (pytest from the repo root)"
+echo "==> [1/6] tier-1 tests (pytest from the repo root)"
 python -m pytest -x -q
 
-echo "==> [2/4] benchmark collection (must be > 0 tests)"
+echo "==> [2/6] benchmark collection (must be > 0 tests)"
 collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
 if [ "${collected}" -eq 0 ]; then
     echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
@@ -26,13 +30,41 @@ if [ "${collected}" -eq 0 ]; then
 fi
 echo "    collected ${collected} benchmark tests"
 
-echo "==> [3/4] one fast benchmark"
+echo "==> [3/6] every benchmark is ported onto repro.exp"
+for bench in benchmarks/bench_*.py; do
+    if ! grep -q "from repro\.exp import" "${bench}"; then
+        echo "ERROR: ${bench} does not import repro.exp (hand-rolled sweep loop?)" >&2
+        exit 1
+    fi
+done
+echo "    all $(ls benchmarks/bench_*.py | wc -l | tr -d ' ') benchmarks import repro.exp"
+
+echo "==> [4/6] aggregate-mode sweep reproduces the in-memory aggregates"
+python - <<'EOF'
+from repro.exp import GridSpec, run_sweep
+from repro.sim.network import UniformDelay
+
+grid = lambda: GridSpec(
+    protocols=["INBAC", "2PC"],
+    systems=[(5, 2)],
+    delays=[("uniform", lambda seed: UniformDelay(0.3, 1.0, seed=seed))],
+    seeds=range(20),
+)
+full = run_sweep(grid(), workers=1)
+agg = run_sweep(grid(), workers=1, mode="aggregate")
+assert agg.aggregate_rows() == full.aggregate_rows(), "aggregate rows diverged"
+assert agg.aggregate_fingerprint() == full.aggregate_fingerprint(), "fingerprints diverged"
+assert agg.error_count == 0
+print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok")
+EOF
+
+echo "==> [5/6] one fast benchmark"
 python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
 
-echo "==> [4/4] examples"
-for example in quickstart protocol_shootout bank_transfer_kv helios_conflict_commit; do
-    echo "--- examples/${example}.py"
-    python "examples/${example}.py" > /dev/null
+echo "==> [6/6] examples"
+for example in examples/*.py; do
+    echo "--- ${example}"
+    python "${example}" > /dev/null
 done
 
 echo "smoke: OK"

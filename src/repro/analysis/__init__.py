@@ -20,7 +20,11 @@ from repro.analysis.formulas import (
     protocol_paper_formulas,
 )
 from repro.analysis.render import render_table
-from repro.analysis.sweeps import properties_by_fault_rows, robustness_matrix_rows
+from repro.analysis.sweeps import (
+    cluster_summary_rows,
+    properties_by_fault_rows,
+    robustness_matrix_rows,
+)
 from repro.analysis.tables import (
     build_table1,
     build_table2,
@@ -28,6 +32,11 @@ from repro.analysis.tables import (
     build_table4,
     build_table5,
     measure_nice_execution,
+    measurement_grid,
+    table1_protocols,
+    table2_protocols,
+    table3_protocols,
+    table4_protocols,
 )
 
 __all__ = [
@@ -37,8 +46,10 @@ __all__ = [
     "build_table3",
     "build_table4",
     "build_table5",
+    "cluster_summary_rows",
     "compare_measured_to_paper",
     "measure_nice_execution",
+    "measurement_grid",
     "paper_table4",
     "paper_table5_delays",
     "paper_table5_messages",
@@ -46,4 +57,8 @@ __all__ = [
     "protocol_paper_formulas",
     "render_table",
     "robustness_matrix_rows",
+    "table1_protocols",
+    "table2_protocols",
+    "table3_protocols",
+    "table4_protocols",
 ]

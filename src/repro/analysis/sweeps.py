@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro.errors import SimulationError
 from repro.exp.results import SweepResult, held_label
 
 
@@ -57,4 +58,24 @@ def properties_by_fault_rows(sweep: SweepResult) -> List[Dict[str, Any]]:
                 continue
             row[label] = held_label(trials) or "∅"
         rows.append(row)
+    return rows
+
+
+def cluster_summary_rows(sweep: SweepResult) -> List[Dict[str, Any]]:
+    """One :meth:`~repro.db.cluster.ClusterReport.summary_row` per cluster trial.
+
+    Cluster trials (those run with a workload axis) carry their report's
+    summary in ``TrialResult.extra``; this pulls them back out in trial order
+    — the shape the database benchmarks render and assert on.
+    """
+    rows = []
+    for trial in sweep.trials:
+        if trial.workload_label == "-":
+            continue
+        if trial.error is not None:
+            raise SimulationError(
+                f"cluster trial for {trial.protocol} x {trial.workload_label} "
+                f"failed:\n{trial.error}"
+            )
+        rows.append(dict(trial.extra))
     return rows

@@ -2,8 +2,12 @@
 
 Each ``build_table*`` function returns a list of dict rows (render with
 :func:`repro.analysis.render.render_table`) and, where applicable, combines
-the paper's closed-form entries with *measured* values obtained by actually
-running the protocols' nice executions in the simulator.
+the paper's closed-form entries with *measured* values obtained by running
+the protocols' nice executions through one :mod:`repro.exp` sweep per table
+(instead of the hand-rolled per-protocol measurement loops the builders used
+to carry).  Callers that already ran a sweep — the benchmarks fan the
+measurement grids out across worker processes — pass it in via ``sweep=``;
+otherwise the builder runs the grid serially itself.
 """
 
 from __future__ import annotations
@@ -20,6 +24,8 @@ from repro.analysis.formulas import (
 from repro.core.lattice import PropertyPair, all_cells, prop_label
 from repro.core.metrics import NiceExecutionComplexity, nice_execution_complexity
 from repro.core.table1 import cell_bound
+from repro.errors import ConfigurationError, SimulationError
+from repro.exp import GridSpec, SweepResult, TrialResult, run_sweep
 from repro.protocols.registry import all_protocols, get_protocol, table5_protocols
 from repro.sim.runner import run_nice_execution
 
@@ -42,7 +48,12 @@ TABLE3_MESSAGE_OPTIMAL: Dict[Tuple[str, str], str] = {
 
 
 def measure_nice_execution(protocol: str, n: int, f: int, seed: int = 0) -> NiceExecutionComplexity:
-    """Run a nice execution of a registered protocol and measure its complexity."""
+    """Run a nice execution of a registered protocol and measure its complexity.
+
+    Single-protocol probe (includes trace-only measures such as causal
+    depth); the table builders below measure whole protocol *sets* through
+    one :func:`repro.exp.run_sweep` instead.
+    """
     info = get_protocol(protocol)
     result = run_nice_execution(info.cls, n=n, f=f, seed=seed)
     complexity = nice_execution_complexity(result.trace)
@@ -50,11 +61,101 @@ def measure_nice_execution(protocol: str, n: int, f: int, seed: int = 0) -> Nice
 
 
 # --------------------------------------------------------------------------- #
+# sweep-backed measurement: one repro.exp grid per table
+# --------------------------------------------------------------------------- #
+def measurement_grid(protocols: Sequence[str], n: int, f: int, seed: int = 0) -> GridSpec:
+    """The nice-execution measurement grid for a set of registered protocols.
+
+    ``FixedDelay(1)``, failure-free, all-yes votes — exactly the setting the
+    paper's best-case complexity columns are measured in.  Duplicate protocol
+    names are collapsed (order-preserving) so tables that measure the same
+    protocol in several cells still run it once.
+    """
+    ordered = list(dict.fromkeys(protocols))
+    return GridSpec(protocols=ordered, systems=[(n, f)], seeds=[seed])
+
+
+def table1_protocols() -> List[str]:
+    """Every protocol Table 1's measured columns need (message + delay matches)."""
+    return list(
+        dict.fromkeys(
+            list(TABLE3_MESSAGE_OPTIMAL.values()) + list(TABLE2_DELAY_OPTIMAL.values())
+        )
+    )
+
+
+def table2_protocols() -> List[str]:
+    return list(TABLE2_DELAY_OPTIMAL.values())
+
+
+def table3_protocols() -> List[str]:
+    return list(TABLE3_MESSAGE_OPTIMAL.values())
+
+
+def table4_protocols() -> List[str]:
+    return ["INBAC", "(n-1+f)NBAC", "1NBAC", "(2n-2+f)NBAC"]
+
+
+def _measured_by_protocol(
+    protocols: Sequence[str],
+    n: int,
+    f: int,
+    sweep: Optional[SweepResult],
+    workers: Optional[int],
+) -> Dict[str, TrialResult]:
+    """One nice-execution TrialResult per protocol, from ``sweep`` or a fresh run.
+
+    The builders read ``last_decision`` (message delays),
+    ``messages_until_last_decision`` (the paper's received-by-last-decision
+    count) and ``messages_consensus`` off the records — the same quantities
+    :func:`measure_nice_execution` reports, measured by the sweep engine.
+    """
+    if sweep is None:
+        sweep = run_sweep(measurement_grid(protocols, n, f), workers=workers)
+    measured: Dict[str, TrialResult] = {}
+    for trial in sweep.trials:
+        if (trial.n, trial.f) != (n, f):
+            raise ConfigurationError(
+                f"measurement sweep ran at (n={trial.n}, f={trial.f}) but the "
+                f"table is being built for (n={n}, f={f})"
+            )
+        if trial.error is not None:
+            raise SimulationError(
+                f"measurement trial for {trial.protocol} (n={trial.n}, f={trial.f}) "
+                f"failed:\n{trial.error}"
+            )
+        measured[trial.protocol] = trial
+    missing = [p for p in dict.fromkeys(protocols) if p not in measured]
+    if missing:
+        raise ConfigurationError(
+            f"measurement sweep is missing protocols {missing}; "
+            f"it covers {sorted(measured)}"
+        )
+    return measured
+
+
+# --------------------------------------------------------------------------- #
 # Table 1 — the 27 lower bounds, with measured confirmation where we have a
 # matching protocol
 # --------------------------------------------------------------------------- #
-def build_table1(n: int, f: int, measure: bool = True) -> List[Dict[str, object]]:
-    """One row per non-empty cell of Table 1."""
+def build_table1(
+    n: int,
+    f: int,
+    measure: bool = True,
+    sweep: Optional[SweepResult] = None,
+    workers: Optional[int] = 1,
+) -> List[Dict[str, object]]:
+    """One row per non-empty cell of Table 1.
+
+    With ``measure=True`` the matching protocols are measured by one
+    :func:`repro.exp.run_sweep` over :func:`table1_protocols` (pass a
+    pre-run ``sweep=`` of :func:`measurement_grid` to reuse it).
+    """
+    measured_by_protocol: Dict[str, TrialResult] = {}
+    if measure:
+        measured_by_protocol = _measured_by_protocol(
+            table1_protocols(), n, f, sweep, workers
+        )
     rows: List[Dict[str, object]] = []
     matching = dict(TABLE3_MESSAGE_OPTIMAL)
     for cell in all_cells():
@@ -69,19 +170,21 @@ def build_table1(n: int, f: int, measure: bool = True) -> List[Dict[str, object]
         }
         protocol_name = matching.get((cf, nf))
         if protocol_name is not None and measure:
-            measured = measure_nice_execution(protocol_name, n, f)
+            measured = measured_by_protocol[protocol_name]
             row["matching_protocol"] = protocol_name
-            row["measured_messages"] = measured.messages
+            row["measured_messages"] = measured.messages_until_last_decision
             row["meets_message_bound"] = (
-                "yes" if measured.messages == bound.messages_for(n, f) else "no"
+                "yes"
+                if measured.messages_until_last_decision == bound.messages_for(n, f)
+                else "no"
             )
         delay_protocol = TABLE2_DELAY_OPTIMAL.get((cf, nf))
         if delay_protocol is not None and measure:
-            measured = measure_nice_execution(delay_protocol, n, f)
+            measured = measured_by_protocol[delay_protocol]
             row["delay_protocol"] = delay_protocol
-            row["measured_delays"] = measured.message_delays
+            row["measured_delays"] = measured.last_decision
             row["meets_delay_bound"] = (
-                "yes" if measured.message_delays == bound.delays else "no"
+                "yes" if measured.last_decision == bound.delays else "no"
             )
         rows.append(row)
     return rows
@@ -90,20 +193,26 @@ def build_table1(n: int, f: int, measure: bool = True) -> List[Dict[str, object]
 # --------------------------------------------------------------------------- #
 # Table 2 — delay-optimal protocols
 # --------------------------------------------------------------------------- #
-def build_table2(n: int, f: int) -> List[Dict[str, object]]:
+def build_table2(
+    n: int,
+    f: int,
+    sweep: Optional[SweepResult] = None,
+    workers: Optional[int] = 1,
+) -> List[Dict[str, object]]:
+    measured_by_protocol = _measured_by_protocol(table2_protocols(), n, f, sweep, workers)
     rows = []
     for (cf, nf), protocol in TABLE2_DELAY_OPTIMAL.items():
         cell = PropertyPair.of(cf, nf)
         bound = cell_bound(cell)
-        measured = measure_nice_execution(protocol, n, f)
+        measured = measured_by_protocol[protocol]
         rows.append(
             {
                 "cell": f"({cf}, {nf})",
                 "protocol": protocol,
                 "delay_bound": bound.delays,
-                "measured_delays": measured.message_delays,
-                "measured_messages": measured.messages,
-                "optimal": "yes" if measured.message_delays == bound.delays else "no",
+                "measured_delays": measured.last_decision,
+                "measured_messages": measured.messages_until_last_decision,
+                "optimal": "yes" if measured.last_decision == bound.delays else "no",
             }
         )
     return rows
@@ -112,22 +221,28 @@ def build_table2(n: int, f: int) -> List[Dict[str, object]]:
 # --------------------------------------------------------------------------- #
 # Table 3 — message-optimal protocols
 # --------------------------------------------------------------------------- #
-def build_table3(n: int, f: int) -> List[Dict[str, object]]:
+def build_table3(
+    n: int,
+    f: int,
+    sweep: Optional[SweepResult] = None,
+    workers: Optional[int] = 1,
+) -> List[Dict[str, object]]:
+    measured_by_protocol = _measured_by_protocol(table3_protocols(), n, f, sweep, workers)
     rows = []
     for (cf, nf), protocol in TABLE3_MESSAGE_OPTIMAL.items():
         cell = PropertyPair.of(cf, nf)
         bound = cell_bound(cell)
-        measured = measure_nice_execution(protocol, n, f)
+        measured = measured_by_protocol[protocol]
         rows.append(
             {
                 "cell": f"({cf}, {nf})",
                 "protocol": protocol,
                 "message_bound": bound.messages_symbolic,
                 "message_bound_value": bound.messages_for(n, f),
-                "measured_messages": measured.messages,
-                "measured_delays": measured.message_delays,
+                "measured_messages": measured.messages_until_last_decision,
+                "measured_delays": measured.last_decision,
                 "optimal": "yes"
-                if measured.messages == bound.messages_for(n, f)
+                if measured.messages_until_last_decision == bound.messages_for(n, f)
                 else "no",
             }
         )
@@ -137,30 +252,36 @@ def build_table3(n: int, f: int) -> List[Dict[str, object]]:
 # --------------------------------------------------------------------------- #
 # Table 4 — indulgent atomic commit vs synchronous NBAC
 # --------------------------------------------------------------------------- #
-def build_table4(n: int, f: int) -> List[Dict[str, object]]:
+def build_table4(
+    n: int,
+    f: int,
+    sweep: Optional[SweepResult] = None,
+    workers: Optional[int] = 1,
+) -> List[Dict[str, object]]:
     paper = paper_table4(n, f)
-    inbac = measure_nice_execution("INBAC", n, f)
-    nf_nbac = measure_nice_execution("(n-1+f)NBAC", n, f)
-    one_nbac = measure_nice_execution("1NBAC", n, f)
-    msg_opt = measure_nice_execution("(2n-2+f)NBAC", n, f)
+    measured = _measured_by_protocol(table4_protocols(), n, f, sweep, workers)
+    inbac = measured["INBAC"]
+    nf_nbac = measured["(n-1+f)NBAC"]
+    one_nbac = measured["1NBAC"]
+    msg_opt = measured["(2n-2+f)NBAC"]
     rows = [
         {
             "problem": "indulgent atomic commit",
             "bound_delays": paper["indulgent atomic commit (this paper)"]["delays"],
             "bound_messages": paper["indulgent atomic commit (this paper)"]["messages"],
             "delay_optimal_protocol": "INBAC",
-            "measured_delays": inbac.message_delays,
+            "measured_delays": inbac.last_decision,
             "message_optimal_protocol": "(2n-2+f)NBAC",
-            "measured_messages": msg_opt.messages,
+            "measured_messages": msg_opt.messages_until_last_decision,
         },
         {
             "problem": "synchronous NBAC",
             "bound_delays": paper["synchronous NBAC (this paper)"]["delays"],
             "bound_messages": paper["synchronous NBAC (this paper)"]["messages"],
             "delay_optimal_protocol": "1NBAC",
-            "measured_delays": one_nbac.message_delays,
+            "measured_delays": one_nbac.last_decision,
             "message_optimal_protocol": "(n-1+f)NBAC",
-            "measured_messages": nf_nbac.messages,
+            "measured_messages": nf_nbac.messages_until_last_decision,
         },
         {
             "problem": "synchronous NBAC (prior work, f = n-1 only)",
@@ -179,7 +300,11 @@ def build_table4(n: int, f: int) -> List[Dict[str, object]]:
 # Table 5 — the protocol shoot-out
 # --------------------------------------------------------------------------- #
 def build_table5(
-    n: int, f: int, protocols: Optional[Sequence[str]] = None
+    n: int,
+    f: int,
+    protocols: Optional[Sequence[str]] = None,
+    sweep: Optional[SweepResult] = None,
+    workers: Optional[int] = 1,
 ) -> Tuple[List[Dict[str, object]], List[ComparisonRow]]:
     """Measured and paper complexity for the Table 5 protocols.
 
@@ -187,11 +312,12 @@ def build_table5(
     EXPERIMENTS.md.
     """
     protocols = list(protocols) if protocols else table5_protocols()
+    measured_by_protocol = _measured_by_protocol(protocols, n, f, sweep, workers)
     rows: List[Dict[str, object]] = []
     comparisons: List[ComparisonRow] = []
     registry = all_protocols()
     for name in protocols:
-        measured = measure_nice_execution(name, n, f)
+        measured = measured_by_protocol[name]
         paper_delays = paper_table5_delays(name, n, f) if name in _table5_names() else None
         paper_messages = (
             paper_table5_messages(name, n, f) if name in _table5_names() else None
@@ -201,11 +327,11 @@ def build_table5(
                 "protocol": name,
                 "n": n,
                 "f": f,
-                "measured_delays": measured.message_delays,
+                "measured_delays": measured.last_decision,
                 "paper_delays": paper_delays,
-                "measured_messages": measured.messages,
+                "measured_messages": measured.messages_until_last_decision,
                 "paper_messages": paper_messages,
-                "consensus_messages": measured.consensus_messages,
+                "consensus_messages": measured.messages_consensus,
                 "problem": paper_table5_problem(name)
                 if name in _table5_names()
                 else registry[name].notes,
@@ -213,11 +339,14 @@ def build_table5(
         )
         if paper_delays is not None:
             comparisons.append(
-                ComparisonRow("table5", name, n, f, "delays", measured.message_delays, paper_delays)
+                ComparisonRow("table5", name, n, f, "delays", measured.last_decision, paper_delays)
             )
         if paper_messages is not None:
             comparisons.append(
-                ComparisonRow("table5", name, n, f, "messages", measured.messages, paper_messages)
+                ComparisonRow(
+                    "table5", name, n, f, "messages",
+                    measured.messages_until_last_decision, paper_messages,
+                )
             )
     return rows, comparisons
 

@@ -62,6 +62,10 @@ class ClusterReport:
     end_time: float
     partition_stats: Dict[int, Dict[str, int]]
     store_snapshots: Dict[int, Dict[str, object]]
+    #: messages received by the time the last transaction decided (the
+    #: paper's best-case accounting); equals messages_total when no
+    #: transaction decided
+    messages_until_last_decision: int = 0
 
     # -- aggregates -------------------------------------------------------- #
     @property
@@ -163,6 +167,15 @@ def run_cluster(
     for record in trace.counted_messages():
         messages_by_module[record.module] = messages_by_module.get(record.module, 0) + 1
 
+    decide_times = [
+        o.decide_time for o in client.outcomes.values() if o.decide_time is not None
+    ]
+    messages_until_last = (
+        trace.messages_received_by(max(decide_times))
+        if decide_times
+        else trace.message_count()
+    )
+
     partition_stats = {
         pid: dict(scheduler.processes[pid].statistics) for pid in range(1, partitions + 1)
     }
@@ -178,4 +191,5 @@ def run_cluster(
         end_time=trace.end_time,
         partition_stats=partition_stats,
         store_snapshots=store_snapshots,
+        messages_until_last_decision=messages_until_last,
     )

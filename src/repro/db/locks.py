@@ -57,15 +57,30 @@ class LockManager:
         return False
 
     def try_acquire_all(self, txn_id: str, keys_by_mode: Dict[str, LockMode]) -> bool:
-        """Acquire a set of locks atomically; release what was taken on failure."""
-        acquired: List[str] = []
+        """Acquire a set of locks atomically; restore the table exactly on failure.
+
+        Rollback must distinguish what this call *changed* from what the
+        transaction already owned: only newly-taken keys are released, and a
+        SHARED lock that this call upgraded to EXCLUSIVE is downgraded back.
+        Keys the transaction held before the call stay held, in their
+        original mode.
+        """
+        newly_acquired: List[str] = []
+        upgraded: List[str] = []
         for key, mode in sorted(keys_by_mode.items()):
-            if self.try_acquire(txn_id, key, mode):
-                acquired.append(key)
-            else:
-                for taken in acquired:
+            lock = self._locks.get(key)
+            pre_held = lock is not None and txn_id in lock.holders
+            pre_mode = lock.mode if pre_held else None
+            if not self.try_acquire(txn_id, key, mode):
+                for taken in newly_acquired:
                     self.release(txn_id, taken)
+                for up in upgraded:
+                    self._locks[up].mode = LockMode.SHARED
                 return False
+            if not pre_held:
+                newly_acquired.append(key)
+            elif pre_mode == LockMode.SHARED and self._locks[key].mode == LockMode.EXCLUSIVE:
+                upgraded.append(key)
         return True
 
     # ------------------------------------------------------------------ #

@@ -5,13 +5,33 @@ against 2PC/3PC/Paxos-Commit across system sizes, resilience levels and delay
 regimes.  This package turns those cross-product comparisons into one-liners:
 
 * :mod:`repro.exp.spec` — :class:`GridSpec` declares *what* to run
-  (protocol x (n, f) x delay model x fault plan x votes x seed) and expands
-  it into deterministic :class:`TrialSpec` records;
+  (protocol x (n, f) x delay model x fault plan x votes x workload x seed)
+  and expands it into deterministic :class:`TrialSpec` records; a trial with
+  a :class:`WorkloadSpec` runs a :mod:`repro.db` cluster transaction battery
+  instead of a bare protocol execution;
 * :mod:`repro.exp.engine` — :func:`run_sweep` fans the trials out across
   worker processes (serial fallback included) with per-trial derived seeding,
   so parallel and serial sweeps produce byte-identical aggregates;
 * :mod:`repro.exp.results` — :class:`SweepResult` aggregates the structured
-  per-trial measurements into table rows for :mod:`repro.analysis`.
+  per-trial measurements into table rows for :mod:`repro.analysis`;
+  :class:`SweepAggregate` is the bounded-memory counterpart produced by
+  streaming sweeps.
+
+Two execution shapes:
+
+* ``mode="full"`` (default) materialises every :class:`TrialResult` in a
+  :class:`SweepResult` — per-trial selection, robustness matrices, canonical
+  fingerprints;
+* ``mode="aggregate"`` streams — each result is folded into per-coordinate
+  accumulators (counts, commit/abort tallies, message totals, exact latency
+  digests for p50/p99) and discarded, so 10^5-10^6-trial sweeps run in
+  memory bounded by the grid's *cell* count while producing byte-identical
+  aggregate tables to the in-memory path.  Pass ``reducer=`` (any object
+  with ``fold(TrialResult)``) for custom streaming statistics.
+
+The ``workers=`` argument defaults to one per CPU; the ``REPRO_EXP_WORKERS``
+environment variable overrides it and must be a positive integer —
+anything else raises :class:`~repro.errors.ConfigurationError`.
 
 Example
 -------
@@ -21,10 +41,14 @@ Example
 ...     systems=[(5, 2), (8, 3)],
 ... ), workers=4)
 >>> rows = sweep.aggregate_rows()   # ready for repro.analysis.render_table
+>>> big = run_sweep(GridSpec(
+...     protocols=["INBAC"], systems=[(5, 2)], seeds=range(100_000),
+... ), mode="aggregate")            # bounded memory, identical aggregates
+>>> big.aggregate_rows() == sweep.aggregate_rows()[:1]  # doctest: +SKIP
 """
 
 from repro.exp.engine import run_sweep, run_trial, run_trials
-from repro.exp.results import SweepResult, TrialResult
+from repro.exp.results import SweepAggregate, SweepResult, TrialResult
 from repro.exp.spec import (
     DelaySpec,
     FaultSpec,
@@ -32,6 +56,7 @@ from repro.exp.spec import (
     ProtocolSpec,
     TrialSpec,
     VoteSpec,
+    WorkloadSpec,
     all_no,
     all_yes,
     fixed_votes,
@@ -44,10 +69,12 @@ __all__ = [
     "FaultSpec",
     "GridSpec",
     "ProtocolSpec",
+    "SweepAggregate",
     "SweepResult",
     "TrialResult",
     "TrialSpec",
     "VoteSpec",
+    "WorkloadSpec",
     "all_no",
     "all_yes",
     "fixed_votes",

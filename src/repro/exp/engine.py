@@ -21,6 +21,31 @@ Design constraints, in order:
    or the sweep is too small to amortise worker start-up, the engine runs the
    same trial loop in-process.  ``SweepResult.meta["mode"]`` records which
    path ran.
+
+4. **Bounded-memory aggregation.**  ``mode="aggregate"`` (or a custom
+   ``reducer=``) streams results instead of collecting them: each
+   :class:`~repro.exp.results.TrialResult` is folded into per-coordinate
+   accumulators the moment it arrives and then dropped, so a 10^5-10^6-trial
+   sweep holds one accumulator per grid cell rather than every trial.  The
+   parallel path uses ``Pool.imap`` — which yields results *in trial-index
+   order* — so the fold performs the identical floating-point operations in
+   the identical order as a serial run, making the streamed aggregates
+   byte-identical to both the serial streamed run and the in-memory
+   ``mode="full"`` aggregation of the same grid and seeds.  (Workers are
+   deliberately not asked to pre-merge partial accumulators: merging partial
+   float sums is not associativity-safe, and per-trial IPC is negligible next
+   to simulation cost.)  Note the bound is on *results*: the expanded
+   ``TrialSpec`` list itself is still materialised (lightweight frozen
+   records sharing their axis-spec objects, inherited by workers via fork,
+   not copied) — it is the per-trial measurement records, orders of
+   magnitude heavier, that streaming never holds.
+
+5. **Cluster trials.**  A trial whose spec carries a
+   :class:`~repro.exp.spec.WorkloadSpec` runs a :mod:`repro.db` cluster
+   battery (``n`` partitions, the protocol axis embedded as the commit
+   protocol, the workload's transactions as the load) instead of a bare
+   protocol execution, and condenses the
+   :class:`~repro.db.cluster.ClusterReport` into the same TrialResult shape.
 """
 
 from __future__ import annotations
@@ -31,14 +56,16 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.checker import check_nbac
-from repro.exp.results import SweepResult, TrialResult
+from repro.errors import ConfigurationError
+from repro.exp.results import SweepAggregate, SweepResult, TrialResult
 from repro.exp.spec import GridSpec, TrialSpec
 from repro.sim.runner import Simulation, SimulationResult
 
 #: a collector receives (trial, result) in the worker and returns extra
 #: picklable data to attach to the TrialResult (e.g. protocol-internal state
 #: such as INBAC's branch log, which never leaves the worker otherwise).
-Collector = Callable[[TrialSpec, SimulationResult], Dict[str, Any]]
+#: For cluster trials the second argument is the ClusterReport instead.
+Collector = Callable[[TrialSpec, Any], Dict[str, Any]]
 
 #: below this many trials a pool costs more than it saves
 _MIN_TRIALS_FOR_POOL = 4
@@ -60,7 +87,10 @@ def run_trial(trial: TrialSpec, collector: Optional[Collector] = None) -> TrialR
         votes_label=trial.votes.label,
         base_seed=trial.base_seed,
         derived_seed=trial.derived_seed,
+        workload_label=trial.workload_label,
     )
+    if trial.workload is not None:
+        return _run_cluster_trial(trial, base, collector)
     try:
         seed = trial.derived_seed
         sim = Simulation(
@@ -103,6 +133,62 @@ def run_trial(trial: TrialSpec, collector: Optional[Collector] = None) -> TrialR
     return base
 
 
+def _run_cluster_trial(
+    trial: TrialSpec, base: TrialResult, collector: Optional[Collector]
+) -> TrialResult:
+    """Run one :mod:`repro.db` cluster battery and condense its report.
+
+    The mapping onto the TrialResult shape: ``decisions`` holds one entry per
+    transaction (txn id -> commit/abort decision), ``decision_latencies`` the
+    per-transaction commit latencies, and ``termination`` whether every
+    transaction completed.  Agreement/validity checking applies to bare
+    protocol trials; cluster trials leave them True.  The full
+    ``ClusterReport.summary_row`` lands in ``extra``.
+    """
+    # imported lazily: repro.db pulls in the whole store/partition stack,
+    # which bare protocol sweeps never need
+    from repro.db.cluster import ClusterConfig, run_cluster
+
+    try:
+        seed = trial.derived_seed
+        delay_model = trial.delay.factory(seed)
+        fault_plan = trial.fault.factory()
+        config = ClusterConfig(
+            num_partitions=trial.n,
+            commit_protocol=trial.protocol.cls,
+            commit_f=trial.f,
+            protocol_kwargs=trial.protocol.protocol_kwargs(),
+            delay_model=delay_model,
+            fault_plan=fault_plan,
+            seed=seed,
+            max_time=trial.max_time,
+        )
+        transactions = trial.workload.factory(trial.n, seed)
+        report = run_cluster(config, transactions)
+    except Exception:
+        base.error = traceback.format_exc(limit=8)
+        return base
+
+    base.execution_class = fault_plan.execution_class(delay_model.bound())
+    base.decisions = {o.txn_id: o.decision for o in report.outcomes}
+    base.decision_latencies = sorted(report.commit_latencies())
+    if base.decision_latencies:
+        base.first_decision = base.decision_latencies[0]
+        base.last_decision = base.decision_latencies[-1]
+    base.messages_total = report.messages_total
+    base.messages_main = report.messages_by_module.get("main", 0)
+    base.messages_consensus = base.messages_total - base.messages_main
+    base.messages_until_last_decision = report.messages_until_last_decision
+    base.termination = report.incomplete == 0
+    base.crashes = dict(fault_plan.crashes)
+    summary = report.summary_row()
+    summary["protocol"] = trial.protocol.label  # the sweep's label, not the class name
+    base.extra = summary
+    if collector is not None:
+        base.extra = {**summary, **(collector(trial, report) or {})}
+    return base
+
+
 # --------------------------------------------------------------------------- #
 # worker plumbing (fork start method only; see module docstring)
 # --------------------------------------------------------------------------- #
@@ -117,10 +203,40 @@ def _run_index(index: int) -> TrialResult:
 
 
 def _resolve_workers(workers: Optional[int], n_trials: int) -> int:
+    """Resolve the worker count, validating explicit and environment overrides.
+
+    A malformed or non-positive ``REPRO_EXP_WORKERS`` (or ``workers=``
+    argument) raises :class:`~repro.errors.ConfigurationError` naming the
+    offending value, rather than leaking a bare ``ValueError`` or silently
+    clamping a negative count to 1.
+    """
     if workers is None:
         env = os.environ.get("REPRO_EXP_WORKERS")
-        workers = int(env) if env else (os.cpu_count() or 1)
-    return max(1, min(int(workers), n_trials))
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_EXP_WORKERS must be a positive integer, got {env!r}"
+                ) from None
+            if workers <= 0:
+                raise ConfigurationError(
+                    f"REPRO_EXP_WORKERS must be a positive integer, got {env!r}"
+                )
+        else:
+            workers = os.cpu_count() or 1
+    else:
+        try:
+            workers = int(workers)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"workers must be a positive integer, got {workers!r}"
+            ) from None
+        if workers <= 0:
+            raise ConfigurationError(
+                f"workers must be a positive integer, got {workers}"
+            )
+    return max(1, min(workers, n_trials))
 
 
 def _fork_available() -> bool:
@@ -130,59 +246,110 @@ def _fork_available() -> bool:
         return False
 
 
+#: cap on the pool chunk size in streaming mode, so a worker never buffers an
+#: unbounded slice of results before shipping them back
+_MAX_STREAM_CHUNK = 64
+
+#: the modes run_trials/run_sweep accept
+_MODES = ("full", "aggregate")
+
+
 def run_trials(
     trials: Sequence[TrialSpec],
     workers: Optional[int] = None,
     collector: Optional[Collector] = None,
-) -> SweepResult:
+    mode: str = "full",
+    reducer: Optional[Any] = None,
+) -> Union[SweepResult, Any]:
     """Run an explicit trial list (see :func:`repro.exp.spec.make_cases`)."""
+    if mode not in _MODES:
+        raise ConfigurationError(
+            f"unknown sweep mode {mode!r}; expected one of {_MODES}"
+        )
     trials = list(trials)
+    streaming = mode == "aggregate" or reducer is not None
     n_workers = _resolve_workers(workers, len(trials))
     use_pool = (
         n_workers > 1 and len(trials) >= _MIN_TRIALS_FOR_POOL and _fork_available()
     )
-    mode = "parallel" if use_pool else "serial"
+    exec_mode = "parallel" if use_pool else "serial"
+    meta = {
+        "mode": exec_mode,
+        "workers": n_workers if use_pool else 1,
+        "requested_workers": workers,
+        "trials": len(trials),
+        "sweep_mode": "aggregate" if streaming else "full",
+    }
+
+    if not streaming:
+        if use_pool:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(
+                processes=n_workers, initializer=_pool_init, initargs=(trials, collector)
+            ) as pool:
+                chunk = max(1, len(trials) // (n_workers * 4))
+                results = pool.map(_run_index, range(len(trials)), chunksize=chunk)
+        else:
+            results = [run_trial(trial, collector) for trial in trials]
+        return SweepResult(trials=results, meta=meta)
+
+    # streaming: fold each result the moment it arrives, in trial-index order
+    # (imap yields in submission order), then drop it — identical operation
+    # order to a serial run, bounded memory
+    sink = reducer if reducer is not None else SweepAggregate()
     if use_pool:
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(
             processes=n_workers, initializer=_pool_init, initargs=(trials, collector)
         ) as pool:
-            chunk = max(1, len(trials) // (n_workers * 4))
-            results = pool.map(_run_index, range(len(trials)), chunksize=chunk)
+            chunk = max(1, min(_MAX_STREAM_CHUNK, len(trials) // (n_workers * 4)))
+            for result in pool.imap(_run_index, range(len(trials)), chunksize=chunk):
+                sink.fold(result)
     else:
-        results = [run_trial(trial, collector) for trial in trials]
-    return SweepResult(
-        trials=results,
-        meta={
-            "mode": mode,
-            "workers": n_workers if use_pool else 1,
-            "requested_workers": workers,
-            "trials": len(trials),
-        },
-    )
+        for trial in trials:
+            sink.fold(run_trial(trial, collector))
+    if hasattr(sink, "meta"):
+        sink.meta.update(meta)
+    return sink
 
 
 def run_sweep(
     grid: Union[GridSpec, Sequence[TrialSpec]],
     workers: Optional[int] = None,
     collector: Optional[Collector] = None,
-) -> SweepResult:
+    mode: str = "full",
+    reducer: Optional[Any] = None,
+) -> Union[SweepResult, Any]:
     """Expand a grid and run every trial, fanning out across workers.
 
     Parameters
     ----------
     grid:
         A :class:`~repro.exp.spec.GridSpec` (or an already-expanded trial
-        list) describing the protocol x (n, f) x delay x fault x votes x seed
-        cross product.
+        list) describing the protocol x (n, f) x delay x fault x votes x
+        workload x seed cross product.
     workers:
         Worker process count.  ``None`` means "one per CPU" (overridable via
-        the ``REPRO_EXP_WORKERS`` environment variable); ``1`` forces the
-        serial path.  Parallel and serial runs produce identical results.
+        the ``REPRO_EXP_WORKERS`` environment variable, which must be a
+        positive integer); ``1`` forces the serial path.  Parallel and serial
+        runs produce identical results.
     collector:
         Optional per-trial hook run *inside the worker* with the live
-        :class:`~repro.sim.runner.SimulationResult`; whatever picklable dict
-        it returns lands in ``TrialResult.extra``.
+        :class:`~repro.sim.runner.SimulationResult` (the
+        :class:`~repro.db.cluster.ClusterReport` for cluster trials);
+        whatever picklable dict it returns lands in ``TrialResult.extra``.
+    mode:
+        ``"full"`` (default) returns a :class:`~repro.exp.results.SweepResult`
+        holding every trial.  ``"aggregate"`` streams: trial results are
+        folded into a :class:`~repro.exp.results.SweepAggregate` and
+        discarded, so memory is bounded by the grid's cell count instead of
+        its trial count, and the aggregate tables are byte-identical to the
+        in-memory path on the same grid and seeds.
+    reducer:
+        Custom streaming sink: any object with a ``fold(TrialResult)``
+        method.  Implies streaming regardless of ``mode``; the engine folds
+        every result in trial-index order and returns the reducer (updating
+        its ``meta`` dict attribute, if present, with execution metadata).
     """
     trials = grid.trials() if isinstance(grid, GridSpec) else list(grid)
-    return run_trials(trials, workers=workers, collector=collector)
+    return run_trials(trials, workers=workers, collector=collector, mode=mode, reducer=reducer)

@@ -7,6 +7,17 @@ rows for :func:`repro.analysis.render.render_table`, robustness summaries in
 the style of Table 5's bottom row, and a canonical fingerprint used to assert
 that two sweeps (e.g. a serial and a parallel run of the same grid) produced
 byte-identical aggregates.
+
+For sweeps too large to hold every trial (the engine's ``mode="aggregate"``),
+:class:`SweepAggregate` folds the same trial stream into per-coordinate
+accumulators instead: counts, commit/abort tallies, message totals, running
+means and an exact latency digest (value -> multiplicity) for the
+nearest-rank p50/p99.  Folding in trial-index order performs the *same
+floating-point operations in the same order* as the in-memory path, so the
+aggregate rows — and therefore :meth:`SweepAggregate.aggregate_fingerprint` —
+are byte-identical to :meth:`SweepResult.aggregate_rows` on the same grid and
+seeds, while memory stays bounded by the number of grid cells (plus distinct
+latency values), never by the number of trials.
 """
 
 from __future__ import annotations
@@ -17,7 +28,7 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-GroupKey = Tuple[str, int, int, str, str, str]
+GroupKey = Tuple[str, int, int, str, str, str, str]
 
 #: property label + the TrialResult attribute that records whether it held
 _PROPERTIES = (("A", "agreement"), ("V", "validity"), ("T", "termination"))
@@ -51,6 +62,7 @@ class TrialResult:
     votes_label: str
     base_seed: int
     derived_seed: int
+    workload_label: str = "-"
     execution_class: str = "failure-free"
     decisions: Dict[int, Any] = field(default_factory=dict)
     decision_latencies: List[float] = field(default_factory=list)
@@ -75,6 +87,7 @@ class TrialResult:
             self.delay_label,
             self.fault_label,
             self.votes_label,
+            self.workload_label,
         )
 
     @property
@@ -101,6 +114,7 @@ class TrialResult:
             "delay": self.delay_label,
             "fault": self.fault_label,
             "votes": self.votes_label,
+            "workload": self.workload_label,
             "seed": self.base_seed,
             "class": self.execution_class,
             "decided": self.decided,
@@ -120,6 +134,111 @@ def _percentile(sorted_values: Sequence[float], q: float) -> Optional[float]:
         return None
     rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _digest_percentile(counts: Dict[float, int], total: int, q: float) -> Optional[float]:
+    """Nearest-rank percentile over a value -> multiplicity digest.
+
+    Walking the sorted distinct values while accumulating multiplicities
+    selects exactly the element that :func:`_percentile` would select from the
+    expanded sorted list, so digest- and list-based percentiles agree on the
+    same data down to the byte.
+    """
+    if total == 0:
+        return None
+    rank = min(max(1, math.ceil(q / 100.0 * total)), total)
+    seen = 0
+    for value in sorted(counts):
+        seen += counts[value]
+        if seen >= rank:
+            return value
+    return None  # pragma: no cover - rank <= total guarantees a hit
+
+
+class CellAccumulator:
+    """Streaming aggregate of all trials sharing one grid coordinate.
+
+    Folding trials in index order performs the identical sequence of
+    arithmetic operations as aggregating the materialised trial list, so the
+    produced :meth:`row` is byte-identical either way.  State is O(1) per cell
+    plus the latency digest (one entry per *distinct* decision latency —
+    bounded by the delay model's support, not by the trial count, for the
+    deterministic models used in large sweeps).
+    """
+
+    __slots__ = (
+        "key", "first_index", "execution_class", "count", "commits", "solved",
+        "sum_last", "n_last", "max_last", "latency_counts", "n_latencies",
+        "sum_messages", "sum_messages_sent", "all_held",
+    )
+
+    def __init__(self, key: GroupKey, first_index: int, execution_class: str):
+        self.key = key
+        self.first_index = first_index
+        self.execution_class = execution_class
+        self.count = 0
+        self.commits = 0
+        self.solved = 0
+        self.sum_last = 0
+        self.n_last = 0
+        self.max_last: Optional[float] = None
+        self.latency_counts: Dict[float, int] = {}
+        self.n_latencies = 0
+        self.sum_messages = 0
+        self.sum_messages_sent = 0
+        self.all_held = {attr: True for _, attr in _PROPERTIES}
+
+    def fold(self, trial: "TrialResult") -> None:
+        self.count += 1
+        if trial.all_committed:
+            self.commits += 1
+        if trial.solves_nbac():
+            self.solved += 1
+        if trial.last_decision is not None:
+            self.sum_last = self.sum_last + trial.last_decision
+            self.n_last += 1
+            if self.max_last is None or trial.last_decision > self.max_last:
+                self.max_last = trial.last_decision
+        for latency in trial.decision_latencies:
+            self.latency_counts[latency] = self.latency_counts.get(latency, 0) + 1
+            self.n_latencies += 1
+        self.sum_messages += trial.messages_until_last_decision
+        self.sum_messages_sent += trial.messages_total
+        for _, attr in _PROPERTIES:
+            if not getattr(trial, attr):
+                self.all_held[attr] = False
+
+    def held_label(self) -> str:
+        return "".join(label for label, attr in _PROPERTIES if self.all_held[attr])
+
+    def row(self) -> Dict[str, Any]:
+        protocol, n, f, delay, fault, votes, workload = self.key
+        return {
+            "protocol": protocol,
+            "n": n,
+            "f": f,
+            "delay": delay,
+            "fault": fault,
+            "votes": votes,
+            "workload": workload,
+            "trials": self.count,
+            "class": self.execution_class,
+            "commit_rate": round(self.commits / self.count, 6),
+            "solved_rate": round(self.solved / self.count, 6),
+            "mean_delays": _round_opt(
+                self.sum_last / self.n_last if self.n_last else None
+            ),
+            "max_delays": self.max_last,
+            "p50_latency": _round_opt(
+                _digest_percentile(self.latency_counts, self.n_latencies, 50)
+            ),
+            "p99_latency": _round_opt(
+                _digest_percentile(self.latency_counts, self.n_latencies, 99)
+            ),
+            "mean_messages": _round_opt(self.sum_messages / self.count),
+            "mean_messages_sent": _round_opt(self.sum_messages_sent / self.count),
+            "properties": self.held_label(),
+        }
 
 
 @dataclass
@@ -172,44 +291,21 @@ class SweepResult:
         """One row per grid cell, averaged over seeds — ready for render_table.
 
         Row order and contents are a pure function of the trial list, so a
-        parallel sweep aggregates identically to a serial one.
+        parallel sweep aggregates identically to a serial one.  The rows are
+        built by folding each cell's trials (in index order) through the same
+        :class:`CellAccumulator` the streaming ``mode="aggregate"`` path uses,
+        which is what makes the two modes byte-identical.
         """
         rows: List[Dict[str, Any]] = []
         for key, trials in sorted(self.groups().items(), key=lambda kv: kv[1][0].index):
-            protocol, n, f, delay, fault, votes = key
-            latencies = sorted(
-                lat for t in trials for lat in t.decision_latencies
+            acc = CellAccumulator(
+                key=key,
+                first_index=trials[0].index,
+                execution_class=trials[0].execution_class,
             )
-            last_decisions = [t.last_decision for t in trials if t.last_decision is not None]
-            rows.append(
-                {
-                    "protocol": protocol,
-                    "n": n,
-                    "f": f,
-                    "delay": delay,
-                    "fault": fault,
-                    "votes": votes,
-                    "trials": len(trials),
-                    "class": trials[0].execution_class,
-                    "commit_rate": round(
-                        sum(1 for t in trials if t.all_committed) / len(trials), 6
-                    ),
-                    "solved_rate": round(
-                        sum(1 for t in trials if t.solves_nbac()) / len(trials), 6
-                    ),
-                    "mean_delays": _round_opt(_mean(last_decisions)),
-                    "max_delays": max(last_decisions) if last_decisions else None,
-                    "p50_latency": _round_opt(_percentile(latencies, 50)),
-                    "p99_latency": _round_opt(_percentile(latencies, 99)),
-                    "mean_messages": _round_opt(
-                        _mean([t.messages_until_last_decision for t in trials])
-                    ),
-                    "mean_messages_sent": _round_opt(
-                        _mean([t.messages_total for t in trials])
-                    ),
-                    "properties": held_label(trials),
-                }
-            )
+            for trial in trials:
+                acc.fold(trial)
+            rows.append(acc.row())
         return rows
 
     def robustness_rows(self) -> List[Dict[str, Any]]:
@@ -219,21 +315,10 @@ class SweepResult:
         computed across whatever fault plans the sweep ran: one row per
         protocol with one ``A``/``V``/``T`` label per execution class seen.
         """
-        by_protocol: Dict[str, Dict[str, List[TrialResult]]] = {}
-        classes_seen: List[str] = []
+        fold = RobustnessFold()
         for trial in self.trials:
-            per_class = by_protocol.setdefault(trial.protocol, {})
-            per_class.setdefault(trial.execution_class, []).append(trial)
-            if trial.execution_class not in classes_seen:
-                classes_seen.append(trial.execution_class)
-        rows = []
-        for protocol in sorted(by_protocol):
-            row: Dict[str, Any] = {"protocol": protocol}
-            for cls in classes_seen:
-                trials = by_protocol[protocol].get(cls, [])
-                row[cls] = held_label(trials) if trials else "-"
-            rows.append(row)
-        return rows
+            fold.fold(trial)
+        return fold.rows()
 
     # ------------------------------------------------------------------ #
     # reproducibility
@@ -255,10 +340,112 @@ class SweepResult:
 
     def aggregate_fingerprint(self) -> str:
         """Digest of the aggregate rows only (what reports are built from)."""
-        canonical = json.dumps(
-            self.aggregate_rows(), sort_keys=True, separators=(",", ":"), default=str
-        )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return _rows_fingerprint(self.aggregate_rows())
+
+
+class RobustnessFold:
+    """Streaming robustness summary: protocol x execution class -> A/V/T fold."""
+
+    def __init__(self) -> None:
+        #: protocol -> execution class -> {property attr: held in every trial}
+        self._held: Dict[str, Dict[str, Dict[str, bool]]] = {}
+        self._classes_seen: List[str] = []
+
+    def fold(self, trial: "TrialResult") -> None:
+        per_class = self._held.setdefault(trial.protocol, {})
+        flags = per_class.get(trial.execution_class)
+        if flags is None:
+            flags = per_class[trial.execution_class] = {
+                attr: True for _, attr in _PROPERTIES
+            }
+            if trial.execution_class not in self._classes_seen:
+                self._classes_seen.append(trial.execution_class)
+        for _, attr in _PROPERTIES:
+            if not getattr(trial, attr):
+                flags[attr] = False
+
+    def rows(self) -> List[Dict[str, Any]]:
+        rows = []
+        for protocol in sorted(self._held):
+            row: Dict[str, Any] = {"protocol": protocol}
+            for cls in self._classes_seen:
+                flags = self._held[protocol].get(cls)
+                if flags is None:
+                    row[cls] = "-"
+                else:
+                    row[cls] = "".join(
+                        label for label, attr in _PROPERTIES if flags[attr]
+                    )
+            rows.append(row)
+        return rows
+
+
+class SweepAggregate:
+    """Aggregate-only view of a sweep: per-cell accumulators, no trial list.
+
+    The engine's streaming mode folds every :class:`TrialResult` into this
+    object *in trial-index order* and discards it, so a million-trial sweep
+    holds one accumulator per grid cell instead of a million records.  The
+    shapes exposed (``aggregate_rows`` / ``robustness_rows`` /
+    ``aggregate_fingerprint``) match :class:`SweepResult` byte-for-byte on the
+    same grid and seeds; per-trial views (``trials``, ``select``,
+    ``fingerprint``) intentionally do not exist here.
+
+    Error handling: failed trials are folded into the aggregates exactly as
+    the in-memory path would (they carry default measurements), and the first
+    few tracebacks are kept in ``sample_errors`` for diagnosis.
+    """
+
+    #: how many failing-trial tracebacks to retain
+    MAX_SAMPLE_ERRORS = 5
+
+    def __init__(self) -> None:
+        self._cells: Dict[GroupKey, CellAccumulator] = {}
+        self._robustness = RobustnessFold()
+        self.meta: Dict[str, Any] = {}
+        self.total_trials = 0
+        self.error_count = 0
+        self.sample_errors: List[str] = []
+
+    def __len__(self) -> int:
+        return self.total_trials
+
+    def fold(self, trial: TrialResult) -> None:
+        """Fold one trial into the aggregates (called in trial-index order)."""
+        self.total_trials += 1
+        if trial.error is not None:
+            self.error_count += 1
+            if len(self.sample_errors) < self.MAX_SAMPLE_ERRORS:
+                self.sample_errors.append(trial.error)
+        key = trial.key()
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = CellAccumulator(
+                key=key, first_index=trial.index, execution_class=trial.execution_class
+            )
+        cell.fold(trial)
+        self._robustness.fold(trial)
+
+    @property
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    def aggregate_rows(self) -> List[Dict[str, Any]]:
+        """Identical rows (and row order) to ``SweepResult.aggregate_rows``."""
+        cells = sorted(self._cells.values(), key=lambda cell: cell.first_index)
+        return [cell.row() for cell in cells]
+
+    def robustness_rows(self) -> List[Dict[str, Any]]:
+        return self._robustness.rows()
+
+    def aggregate_fingerprint(self) -> str:
+        """Digest of the aggregate rows (comparable across execution modes)."""
+        return _rows_fingerprint(self.aggregate_rows())
+
+
+def _rows_fingerprint(rows: List[Dict[str, Any]]) -> str:
+    canonical = json.dumps(rows, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _canonical_trial(trial: TrialResult) -> Dict[str, Any]:
@@ -267,13 +454,6 @@ def _canonical_trial(trial: TrialResult) -> Dict[str, Any]:
     data["decisions"] = {str(k): v for k, v in sorted(trial.decisions.items())}
     data["crashes"] = {str(k): v for k, v in sorted(trial.crashes.items())}
     return data
-
-
-def _mean(values: Sequence[float]) -> Optional[float]:
-    values = [v for v in values if v is not None]
-    if not values:
-        return None
-    return sum(values) / len(values)
 
 
 def _round_opt(value: Optional[float], digits: int = 6) -> Optional[float]:

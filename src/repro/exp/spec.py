@@ -10,6 +10,9 @@ A :class:`GridSpec` names one value set per experimental axis —
 * **fault plan** — plans or plan factories, rebuilt per trial because
   :class:`~repro.sim.faults.DelayRule` tracks match counts internally;
 * **votes** — named vote patterns, functions of ``n``;
+* **workload** — optional :mod:`repro.db` transaction batteries; a trial with
+  a workload runs a simulated cluster (``n`` partitions, the protocol axis
+  embedded as the commit protocol) instead of a bare protocol execution;
 * **seed** — base seeds, one full grid repetition each
 
 — and expands their cross product into a flat list of :class:`TrialSpec`
@@ -31,7 +34,7 @@ import hashlib
 import inspect
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.sim.faults import FaultPlan
@@ -118,11 +121,28 @@ class VoteSpec:
     pattern: Callable[[int], List[int]]
 
 
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named transaction-workload factory for :mod:`repro.db` cluster trials.
+
+    A trial carrying a workload runs a *cluster* battery instead of a bare
+    protocol execution: ``n`` becomes the partition count, ``f`` the embedded
+    commit protocol's resilience, and ``factory(n, seed)`` produces the
+    transaction list (rebuilt per trial so workloads can scale with the
+    partition count and reseed with the trial).  The votes axis does not apply
+    to cluster trials — votes come from lock conflicts inside the partitions.
+    """
+
+    label: str
+    factory: Callable[[int, int], Sequence[Any]]
+
+
 # Accepted shorthand for each axis (normalised by the coerce_* helpers below).
 ProtocolLike = Union[str, type, Tuple[str, type], ProtocolSpec]
 DelayLike = Union[None, DelayModel, Tuple[str, Callable[..., DelayModel]], DelaySpec]
 FaultLike = Union[None, FaultPlan, Tuple[str, Union[FaultPlan, Callable[[], FaultPlan]]], FaultSpec]
 VoteLike = Union[str, Tuple[str, Callable[[int], List[int]]], VoteSpec]
+WorkloadLike = Union[None, Tuple[str, Any], WorkloadSpec]
 
 _NAMED_PATTERNS: Dict[str, Callable[[int], List[int]]] = {
     "all-yes": all_yes,
@@ -239,6 +259,30 @@ def coerce_votes(value: VoteLike) -> VoteSpec:
     raise ConfigurationError(f"cannot interpret {value!r} as a votes axis value")
 
 
+def _workload_factory(source: Any) -> Callable[[int, int], Sequence[Any]]:
+    """Normalise a workload source into a ``factory(n, seed)`` callable.
+
+    Accepted sources: a factory callable, a
+    :class:`~repro.workloads.transactions.TransactionWorkload`, or a plain
+    transaction sequence (the latter two are replayed verbatim per trial).
+    """
+    if callable(source):
+        return source
+    transactions = list(getattr(source, "transactions", source))
+    return lambda n, seed: transactions
+
+
+def coerce_workload(value: WorkloadLike) -> Optional[WorkloadSpec]:
+    if value is None:
+        return None
+    if isinstance(value, WorkloadSpec):
+        return value
+    if isinstance(value, tuple):
+        label, source = value
+        return WorkloadSpec(label=label, factory=_workload_factory(source))
+    raise ConfigurationError(f"cannot interpret {value!r} as a workload axis value")
+
+
 # --------------------------------------------------------------------------- #
 # trials
 # --------------------------------------------------------------------------- #
@@ -246,7 +290,12 @@ def coerce_votes(value: VoteLike) -> VoteSpec:
 
 @dataclass(frozen=True)
 class TrialSpec:
-    """One fully-determined simulation run of a sweep."""
+    """One fully-determined simulation run of a sweep.
+
+    A trial with ``workload=None`` runs a bare protocol execution; a trial
+    carrying a :class:`WorkloadSpec` runs a :mod:`repro.db` cluster battery
+    with ``n`` partitions and the protocol embedded as the commit protocol.
+    """
 
     index: int
     protocol: ProtocolSpec
@@ -257,8 +306,13 @@ class TrialSpec:
     votes: VoteSpec
     base_seed: int
     max_time: float = 500.0
+    workload: Optional[WorkloadSpec] = None
 
-    def key(self) -> Tuple[str, int, int, str, str, str]:
+    @property
+    def workload_label(self) -> str:
+        return self.workload.label if self.workload is not None else "-"
+
+    def key(self) -> Tuple[str, int, int, str, str, str, str]:
         """The trial's grid coordinates (everything except the seed)."""
         return (
             self.protocol.label,
@@ -267,6 +321,7 @@ class TrialSpec:
             self.delay.label,
             self.fault.label,
             self.votes.label,
+            self.workload_label,
         )
 
     @property
@@ -283,13 +338,14 @@ class TrialSpec:
 
 @dataclass
 class GridSpec:
-    """The cross product protocol x (n, f) x delay x fault x votes x seed."""
+    """The cross product protocol x (n, f) x delay x fault x votes x workload x seed."""
 
     protocols: Sequence[ProtocolLike] = ()
     systems: Sequence[Tuple[int, int]] = ((5, 2),)
     delays: Sequence[DelayLike] = (None,)
     faults: Sequence[FaultLike] = (None,)
     votes: Sequence[VoteLike] = ("all-yes",)
+    workloads: Sequence[WorkloadLike] = (None,)
     seeds: Sequence[int] = (0,)
     max_time: float = 500.0
 
@@ -303,12 +359,22 @@ class GridSpec:
         self._delay_specs = [coerce_delay(d) for d in self.delays]
         self._fault_specs = [coerce_fault(fp) for fp in self.faults]
         self._vote_specs = [coerce_votes(v) for v in self.votes]
+        self._workload_specs = [coerce_workload(w) for w in self.workloads]
         for n, f in self.systems:
             if not 1 <= f <= n - 1:
                 raise ConfigurationError(f"invalid system size (n={n}, f={f})")
         labels = [p.label for p in self._protocol_specs]
         if len(set(labels)) != len(labels):
             raise ConfigurationError(f"duplicate protocol labels in grid: {labels}")
+        # cluster trials derive their votes from lock conflicts, so crossing a
+        # workload with a multi-valued votes axis would just replay identical
+        # cluster runs under different vote labels — misleading, not useful
+        if any(w is not None for w in self._workload_specs) and len(self._vote_specs) > 1:
+            raise ConfigurationError(
+                "a workload axis cannot be combined with a multi-valued votes "
+                "axis: votes do not apply to cluster trials (they come from "
+                "lock conflicts); sweep the votes axis in a separate grid"
+            )
 
     @property
     def size(self) -> int:
@@ -318,6 +384,7 @@ class GridSpec:
             * len(self._delay_specs)
             * len(self._fault_specs)
             * len(self._vote_specs)
+            * len(self._workload_specs)
             * len(self.seeds)
         )
 
@@ -330,21 +397,23 @@ class GridSpec:
                 for delay in self._delay_specs:
                     for fault in self._fault_specs:
                         for votes in self._vote_specs:
-                            for seed in self.seeds:
-                                out.append(
-                                    TrialSpec(
-                                        index=index,
-                                        protocol=protocol,
-                                        n=n,
-                                        f=f,
-                                        delay=delay,
-                                        fault=fault,
-                                        votes=votes,
-                                        base_seed=seed,
-                                        max_time=self.max_time,
+                            for workload in self._workload_specs:
+                                for seed in self.seeds:
+                                    out.append(
+                                        TrialSpec(
+                                            index=index,
+                                            protocol=protocol,
+                                            n=n,
+                                            f=f,
+                                            delay=delay,
+                                            fault=fault,
+                                            votes=votes,
+                                            base_seed=seed,
+                                            max_time=self.max_time,
+                                            workload=workload,
+                                        )
                                     )
-                                )
-                                index += 1
+                                    index += 1
         return out
 
 
@@ -367,7 +436,9 @@ def make_cases(
     """
     out: List[TrialSpec] = []
     for index, case in enumerate(cases):
-        unknown = set(case) - {"protocol", "n", "f", "delay", "fault", "votes", "seed", "max_time"}
+        unknown = set(case) - {
+            "protocol", "n", "f", "delay", "fault", "votes", "workload", "seed", "max_time",
+        }
         if unknown:
             raise ConfigurationError(f"unknown case keys: {sorted(unknown)}")
         out.append(
@@ -381,6 +452,7 @@ def make_cases(
                 votes=coerce_votes(case.get("votes", "all-yes")),
                 base_seed=int(case.get("seed", base_seed)),
                 max_time=float(case.get("max_time", max_time)),
+                workload=coerce_workload(case.get("workload")),
             )
         )
     return out

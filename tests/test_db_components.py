@@ -121,6 +121,54 @@ class TestLockManager:
     def test_release_of_unknown_key_is_a_noop(self):
         LockManager().release("t1", "nothing")
 
+    def test_failed_acquire_all_keeps_preheld_locks(self):
+        # regression: rollback used to release every key it touched,
+        # including keys the transaction already held before the call
+        locks = LockManager()
+        assert locks.try_acquire("t1", "a", LockMode.EXCLUSIVE)
+        locks.try_acquire("t2", "b", LockMode.EXCLUSIVE)
+        ok = locks.try_acquire_all("t1", {"a": LockMode.EXCLUSIVE, "b": LockMode.SHARED})
+        assert not ok
+        # t1 must still hold a, exclusively
+        assert locks.holders("a") == {"t1"}
+        assert locks.keys_held_by("t1") == {"a"}
+        assert not locks.try_acquire("t2", "a", LockMode.SHARED)
+
+    def test_failed_acquire_all_reverts_shared_to_exclusive_upgrade(self):
+        # regression: a rolled-back SHARED -> EXCLUSIVE upgrade stayed
+        # EXCLUSIVE, blocking readers that the failed call never entitled
+        # the transaction to block
+        locks = LockManager()
+        assert locks.try_acquire("t1", "a", LockMode.SHARED)
+        locks.try_acquire("t2", "z", LockMode.EXCLUSIVE)
+        ok = locks.try_acquire_all("t1", {"a": LockMode.EXCLUSIVE, "z": LockMode.SHARED})
+        assert not ok
+        # a is still held by t1, but back in SHARED mode: other readers join
+        assert locks.holders("a") == {"t1"}
+        assert locks.try_acquire("t3", "a", LockMode.SHARED)
+
+    def test_failed_acquire_all_releases_only_new_keys(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "a", LockMode.SHARED)
+        locks.try_acquire("t2", "z", LockMode.EXCLUSIVE)
+        ok = locks.try_acquire_all(
+            "t1",
+            {"a": LockMode.SHARED, "c": LockMode.EXCLUSIVE, "z": LockMode.EXCLUSIVE},
+        )
+        assert not ok
+        # the freshly-taken c was rolled back, the pre-held a was not
+        assert not locks.is_locked("c")
+        assert locks.keys_held_by("t1") == {"a"}
+        assert locks.holders("z") == {"t2"}
+
+    def test_successful_acquire_all_keeps_upgrade(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "a", LockMode.SHARED)
+        assert locks.try_acquire_all("t1", {"a": LockMode.EXCLUSIVE, "b": LockMode.SHARED})
+        # the upgrade sticks on success: readers are now locked out
+        assert not locks.try_acquire("t2", "a", LockMode.SHARED)
+        assert locks.keys_held_by("t1") == {"a", "b"}
+
 
 class TestWriteAheadLog:
     def test_append_and_outcome(self):

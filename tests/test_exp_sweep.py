@@ -174,6 +174,45 @@ class TestRunTrial:
 
 
 # --------------------------------------------------------------------------- #
+# worker-count resolution
+# --------------------------------------------------------------------------- #
+class TestWorkerResolution:
+    def tiny_grid(self):
+        return GridSpec(protocols=["2PC"], systems=[(4, 1)])
+
+    def test_env_override_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXP_WORKERS", "2")
+        sweep = run_sweep(self.tiny_grid())
+        assert sweep.meta["requested_workers"] is None
+        assert not sweep.errors()
+
+    def test_non_numeric_env_raises_configuration_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXP_WORKERS", "many")
+        with pytest.raises(ConfigurationError, match="'many'"):
+            run_sweep(self.tiny_grid())
+
+    @pytest.mark.parametrize("value", ["-3", "0"])
+    def test_non_positive_env_raises_configuration_error(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_EXP_WORKERS", value)
+        with pytest.raises(ConfigurationError, match=value):
+            run_sweep(self.tiny_grid())
+
+    def test_non_positive_workers_argument_rejected(self):
+        with pytest.raises(ConfigurationError, match="-2"):
+            run_sweep(self.tiny_grid(), workers=-2)
+
+    def test_non_numeric_workers_argument_rejected(self):
+        with pytest.raises(ConfigurationError, match="'four'"):
+            run_sweep(self.tiny_grid(), workers="four")
+
+    def test_explicit_workers_bypass_env(self, monkeypatch):
+        # an explicit argument must win over (and not be poisoned by) the env
+        monkeypatch.setenv("REPRO_EXP_WORKERS", "garbage")
+        sweep = run_sweep(self.tiny_grid(), workers=1)
+        assert not sweep.errors()
+
+
+# --------------------------------------------------------------------------- #
 # determinism and parallel equivalence
 # --------------------------------------------------------------------------- #
 class TestDeterminism:

@@ -154,6 +154,21 @@ class TestTableBuilders:
         assert rows[0]["measured_delays"] == 2
         assert rows[1]["measured_messages"] == 6  # n - 1 + f
 
+    def test_builders_accept_a_prerun_sweep(self):
+        from repro.analysis import measurement_grid, table2_protocols
+        from repro.exp import run_sweep
+
+        sweep = run_sweep(measurement_grid(table2_protocols(), 5, 2), workers=1)
+        assert build_table2(5, 2, sweep=sweep) == build_table2(5, 2)
+
+    def test_builders_reject_a_mismatched_sweep(self):
+        from repro.analysis import measurement_grid, table2_protocols
+        from repro.exp import run_sweep
+
+        sweep = run_sweep(measurement_grid(table2_protocols(), 5, 2), workers=1)
+        with pytest.raises(ConfigurationError):
+            build_table2(8, 3, sweep=sweep)
+
     def test_build_table5_message_counts_match_paper_exactly(self):
         rows, comparisons = build_table5(6, 2)
         assert len(rows) == 6
