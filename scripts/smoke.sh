@@ -11,18 +11,22 @@
 #   3. a check that every benchmark runs on the repro.exp sweep engine
 #      (no hand-rolled protocol x grid loops may sneak back in);
 #   4. one small aggregate-mode sweep, asserting it reproduces the in-memory
-#      path's aggregate tables byte-for-byte;
+#      path's aggregate tables byte-for-byte — across trace levels and fold
+#      strategies;
 #   5. one fast benchmark end-to-end;
-#   6. all examples.
+#   6. all examples;
+#   7. a small sweep-throughput perf smoke: the fast-path core must emit its
+#      JSON baseline and every core configuration (legacy emulation, trace
+#      levels, fold paths) must produce identical aggregate fingerprints.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "==> [1/6] tier-1 tests (pytest from the repo root)"
+echo "==> [1/7] tier-1 tests (pytest from the repo root)"
 python -m pytest -x -q
 
-echo "==> [2/6] benchmark collection (must be > 0 tests)"
+echo "==> [2/7] benchmark collection (must be > 0 tests)"
 collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
 if [ "${collected}" -eq 0 ]; then
     echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
@@ -30,7 +34,7 @@ if [ "${collected}" -eq 0 ]; then
 fi
 echo "    collected ${collected} benchmark tests"
 
-echo "==> [3/6] every benchmark is ported onto repro.exp"
+echo "==> [3/7] every benchmark is ported onto repro.exp"
 for bench in benchmarks/bench_*.py; do
     if ! grep -q "from repro\.exp import" "${bench}"; then
         echo "ERROR: ${bench} does not import repro.exp (hand-rolled sweep loop?)" >&2
@@ -39,7 +43,7 @@ for bench in benchmarks/bench_*.py; do
 done
 echo "    all $(ls benchmarks/bench_*.py | wc -l | tr -d ' ') benchmarks import repro.exp"
 
-echo "==> [4/6] aggregate-mode sweep reproduces the in-memory aggregates"
+echo "==> [4/7] aggregate-mode sweep reproduces the in-memory aggregates"
 python - <<'EOF'
 from repro.exp import GridSpec, run_sweep
 from repro.sim.network import UniformDelay
@@ -55,16 +59,47 @@ agg = run_sweep(grid(), workers=1, mode="aggregate")
 assert agg.aggregate_rows() == full.aggregate_rows(), "aggregate rows diverged"
 assert agg.aggregate_fingerprint() == full.aggregate_fingerprint(), "fingerprints diverged"
 assert agg.error_count == 0
-print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok")
+# the cross-level / cross-fold equalities the fast-path core guarantees
+for trace_level in ("full", "counters"):
+    for fold in ("trial", "chunk"):
+        variant = run_sweep(grid(), workers=2, mode="aggregate",
+                            trace_level=trace_level, fold=fold)
+        assert variant.aggregate_fingerprint() == full.aggregate_fingerprint(), (
+            f"fingerprint diverged at trace_level={trace_level}, fold={fold}"
+        )
+print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok "
+      f"(both trace levels x both folds)")
 EOF
 
-echo "==> [5/6] one fast benchmark"
+echo "==> [5/7] one fast benchmark"
 python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
 
-echo "==> [6/6] examples"
+echo "==> [6/7] examples"
 for example in examples/*.py; do
     echo "--- ${example}"
     python "${example}" > /dev/null
 done
+
+echo "==> [7/7] sweep-throughput perf smoke (fast-path core baseline)"
+bench_out=$(mktemp)
+python benchmarks/bench_sweep_throughput.py --quick --out "${bench_out}" > /dev/null
+python - "${bench_out}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as handle:
+    baseline = json.load(handle)
+assert baseline["benchmark"] == "sweep_throughput"
+assert baseline["configs"], "no measured configurations in the baseline"
+for config in baseline["configs"]:
+    # run_battery already asserted the cross-variant fingerprint equality;
+    # re-assert the emitted record is complete
+    assert config["fingerprint"], config
+    for column in ("legacy t/s", "full+trial t/s", "counters+trial t/s",
+                   "counters+chunk t/s", "speedup"):
+        assert config[column] > 0, (column, config)
+print(f"    baseline emitted with {len(baseline['configs'])} configs, "
+      f"fingerprints identical across core variants")
+EOF
+rm -f "${bench_out}"
 
 echo "smoke: OK"

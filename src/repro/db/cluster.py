@@ -38,6 +38,9 @@ class ClusterConfig:
     seed: int = 0
     max_time: float = 2000.0
     prepare_margin: float = 1.0
+    #: "full" keeps per-message records; "counters" runs the scheduler's
+    #: counters level (identical report statistics, no MessageRecord churn)
+    trace_level: str = "full"
 
     def resolve_protocol(self) -> type:
         if isinstance(self.commit_protocol, str):
@@ -132,6 +135,7 @@ def run_cluster(
         seed=config.seed,
         max_time=config.max_time,
         protocol_name=f"db/{config.protocol_label()}",
+        trace_level=config.trace_level,
     )
     protocol_cls = config.resolve_protocol()
 
@@ -163,9 +167,7 @@ def run_cluster(
     scheduler.set_stop_predicate(lambda s: client.all_completed())
     trace = scheduler.run()
 
-    messages_by_module: Dict[str, int] = {}
-    for record in trace.counted_messages():
-        messages_by_module[record.module] = messages_by_module.get(record.module, 0) + 1
+    messages_by_module = trace.module_histogram()
 
     decide_times = [
         o.decide_time for o in client.outcomes.values() if o.decide_time is not None

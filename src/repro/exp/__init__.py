@@ -29,6 +29,15 @@ Two execution shapes:
   aggregate tables to the in-memory path.  Pass ``reducer=`` (any object
   with ``fold(TrialResult)``) for custom streaming statistics.
 
+Aggregate mode is also the *fast* path: it defaults to
+``trace_level="counters"`` (the scheduler maintains running tallies instead
+of allocating one ``MessageRecord`` per message; see :mod:`repro.sim.trace`)
+and, in parallel runs, to ``fold="chunk"`` (each worker folds its contiguous
+trial chunk into partial accumulators and ships one bundle per chunk instead
+of one result per trial).  Both knobs are overridable per sweep and neither
+changes a single output byte: trace levels, fold strategies and worker
+counts all produce identical aggregate fingerprints.
+
 The ``workers=`` argument defaults to one per CPU; the ``REPRO_EXP_WORKERS``
 environment variable overrides it and must be a positive integer —
 anything else raises :class:`~repro.errors.ConfigurationError`.

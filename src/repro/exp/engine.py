@@ -26,26 +26,51 @@ Design constraints, in order:
    ``reducer=``) streams results instead of collecting them: each
    :class:`~repro.exp.results.TrialResult` is folded into per-coordinate
    accumulators the moment it arrives and then dropped, so a 10^5-10^6-trial
-   sweep holds one accumulator per grid cell rather than every trial.  The
-   parallel path uses ``Pool.imap`` — which yields results *in trial-index
-   order* — so the fold performs the identical floating-point operations in
-   the identical order as a serial run, making the streamed aggregates
-   byte-identical to both the serial streamed run and the in-memory
-   ``mode="full"`` aggregation of the same grid and seeds.  (Workers are
-   deliberately not asked to pre-merge partial accumulators: merging partial
-   float sums is not associativity-safe, and per-trial IPC is negligible next
-   to simulation cost.)  Note the bound is on *results*: the expanded
-   ``TrialSpec`` list itself is still materialised (lightweight frozen
-   records sharing their axis-spec objects, inherited by workers via fork,
-   not copied) — it is the per-trial measurement records, orders of
-   magnitude heavier, that streaming never holds.
+   sweep holds one accumulator per grid cell rather than every trial.
+   Accumulator statistics are order-independent (integer tallies and
+   value → multiplicity digests; see :mod:`repro.exp.results`), so streamed
+   aggregates are byte-identical to both the serial streamed run and the
+   in-memory ``mode="full"`` aggregation of the same grid and seeds.  Note
+   the bound is on *results*: the expanded ``TrialSpec`` list itself is
+   still materialised (lightweight frozen records sharing their axis-spec
+   objects, inherited by workers via fork, not copied) — it is the per-trial
+   measurement records, orders of magnitude heavier, that streaming never
+   holds.
 
-5. **Cluster trials.**  A trial whose spec carries a
+5. **Worker-side chunk folds.**  In aggregate mode with the default
+   :class:`~repro.exp.results.SweepAggregate` sink, parallel sweeps default
+   to ``fold="chunk"``: each worker folds its contiguous trial-index chunk
+   into a *partial* accumulator set and ships one accumulator bundle per
+   chunk back to the parent, which merges the bundles in chunk (= trial
+   index) order.  IPC drops from one pickled TrialResult per trial to one
+   small bundle per chunk, and because every accumulator statistic merges
+   exactly (no float-sum reordering), the chunked fingerprints match the
+   per-trial fold — and the in-memory path — byte for byte at any worker
+   count.  ``fold="trial"`` forces the per-trial stream (required for, and
+   implied by, custom reducers, which only expose ``fold``).
+
+6. **Trace levels.**  Aggregate-mode sweeps only consume the aggregate
+   tallies a :class:`~repro.sim.trace.CounterTrace` maintains, so they
+   default to ``trace_level="counters"`` — the scheduler skips per-message
+   record allocation entirely — unless a ``collector=`` needs the live full
+   trace.  ``mode="full"`` keeps ``trace_level="full"``.  Either default can
+   be overridden per sweep (``run_sweep(..., trace_level=...)``) or per grid
+   (``GridSpec(trace_level=...)``); measurements and fingerprints are
+   byte-identical across levels by construction.
+
+7. **Cluster trials.**  A trial whose spec carries a
    :class:`~repro.exp.spec.WorkloadSpec` runs a :mod:`repro.db` cluster
    battery (``n`` partitions, the protocol axis embedded as the commit
    protocol, the workload's transactions as the load) instead of a bare
    protocol execution, and condenses the
    :class:`~repro.db.cluster.ClusterReport` into the same TrialResult shape.
+
+8. **Per-cell setup amortisation.**  Trials of one grid cell differ only in
+   their seed, and the expansion order keeps a cell's trials contiguous, so
+   the per-trial hot path resolves the protocol factory, keyword arguments
+   and vote vector once per cell (a one-slot memo keyed by the cell's spec
+   objects) and reuses one :class:`~repro.sim.runner.Simulation` across the
+   cell's trials with per-trial delay/fault/seed overrides.
 """
 
 from __future__ import annotations
@@ -60,6 +85,7 @@ from repro.errors import ConfigurationError
 from repro.exp.results import SweepAggregate, SweepResult, TrialResult
 from repro.exp.spec import GridSpec, TrialSpec
 from repro.sim.runner import Simulation, SimulationResult
+from repro.sim.trace import TRACE_LEVELS
 
 #: a collector receives (trial, result) in the worker and returns extra
 #: picklable data to attach to the TrialResult (e.g. protocol-internal state
@@ -70,13 +96,75 @@ Collector = Callable[[TrialSpec, Any], Dict[str, Any]]
 #: below this many trials a pool costs more than it saves
 _MIN_TRIALS_FOR_POOL = 4
 
-# ships (trials, collector) to forked workers by memory inheritance
+# ships (trials, collector, trace levels, chunk size) to forked workers by
+# memory inheritance
 _WORKER_TRIALS: List[TrialSpec] = []
 _WORKER_COLLECTOR: Optional[Collector] = None
+_WORKER_LEVELS: tuple = (None, "full")  # (explicit override, sweep default)
+_WORKER_CHUNK = 1
 
 
-def run_trial(trial: TrialSpec, collector: Optional[Collector] = None) -> TrialResult:
-    """Run one trial to completion and condense it into a TrialResult."""
+class _CellRuntime:
+    """Per-cell objects resolved once and reused across the cell's trials.
+
+    Trials of one grid cell share everything but their seed, and grid
+    expansion keeps a cell's trials contiguous, so a one-slot memo (see
+    :func:`_cell_runtime`) amortises the protocol-kwargs dict, the vote
+    vector and the :class:`~repro.sim.runner.Simulation` (with its process
+    factory) over the whole seed axis instead of rebuilding them per trial.
+    """
+
+    __slots__ = ("simulation", "votes")
+
+    def __init__(self, simulation: Simulation, votes: List[Any]):
+        self.simulation = simulation
+        self.votes = votes
+
+
+#: (cell signature, runtime) of the most recently run cell, per process
+_LAST_RUNTIME: Optional[tuple] = None
+
+
+def _cell_runtime(trial: TrialSpec, trace_level: str) -> _CellRuntime:
+    global _LAST_RUNTIME
+    # spec dataclasses compare by (label, callable identity), so two cells
+    # only share a runtime when they share the actual spec objects — labels
+    # alone can collide across grids within one process
+    signature = (trial.protocol, trial.n, trial.f, trial.votes, trial.max_time, trace_level)
+    if _LAST_RUNTIME is not None and _LAST_RUNTIME[0] == signature:
+        return _LAST_RUNTIME[1]
+    runtime = _CellRuntime(
+        simulation=Simulation(
+            n=trial.n,
+            f=trial.f,
+            process_class=trial.protocol.cls,
+            max_time=trial.max_time,
+            protocol_kwargs=trial.protocol.protocol_kwargs(),
+            trace_level=trace_level,
+        ),
+        votes=trial.votes.pattern(trial.n),
+    )
+    _LAST_RUNTIME = (signature, runtime)
+    return runtime
+
+
+def _effective_level(trial: TrialSpec, override: Optional[str], default: str) -> str:
+    """Trace-level precedence: sweep override > per-trial pin > sweep default."""
+    return override or trial.trace_level or default
+
+
+def run_trial(
+    trial: TrialSpec,
+    collector: Optional[Collector] = None,
+    trace_level: Optional[str] = None,
+) -> TrialResult:
+    """Run one trial to completion and condense it into a TrialResult.
+
+    ``trace_level`` overrides the trial's own level; with both unset the
+    trial runs at ``"full"``.  Measurements are identical at either level.
+    """
+    level = trace_level or trial.trace_level or "full"
+    seed = trial.derived_seed
     base = TrialResult(
         index=trial.index,
         protocol=trial.protocol.label,
@@ -86,24 +174,19 @@ def run_trial(trial: TrialSpec, collector: Optional[Collector] = None) -> TrialR
         fault_label=trial.fault.label,
         votes_label=trial.votes.label,
         base_seed=trial.base_seed,
-        derived_seed=trial.derived_seed,
+        derived_seed=seed,
         workload_label=trial.workload_label,
     )
     if trial.workload is not None:
-        return _run_cluster_trial(trial, base, collector)
+        return _run_cluster_trial(trial, base, collector, level)
     try:
-        seed = trial.derived_seed
-        sim = Simulation(
-            n=trial.n,
-            f=trial.f,
-            process_class=trial.protocol.cls,
+        runtime = _cell_runtime(trial, level)
+        result = runtime.simulation.run(
+            runtime.votes,
             delay_model=trial.delay.factory(seed),
             fault_plan=trial.fault.factory(),
             seed=seed,
-            max_time=trial.max_time,
-            protocol_kwargs=trial.protocol.protocol_kwargs(),
         )
-        result = sim.run(trial.votes.pattern(trial.n))
     except Exception:
         base.error = traceback.format_exc(limit=8)
         return base
@@ -129,12 +212,21 @@ def run_trial(trial: TrialSpec, collector: Optional[Collector] = None) -> TrialR
     base.termination = report.termination.holds
     base.crashes = dict(trace.crashes)
     if collector is not None:
-        base.extra = dict(collector(trial, result) or {})
+        # collector failures (e.g. a per-message trace query against a trial
+        # pinned to the counters level) are captured like simulation
+        # failures, not allowed to abort the whole sweep
+        try:
+            base.extra = dict(collector(trial, result) or {})
+        except Exception:
+            base.error = traceback.format_exc(limit=8)
     return base
 
 
 def _run_cluster_trial(
-    trial: TrialSpec, base: TrialResult, collector: Optional[Collector]
+    trial: TrialSpec,
+    base: TrialResult,
+    collector: Optional[Collector],
+    trace_level: str = "full",
 ) -> TrialResult:
     """Run one :mod:`repro.db` cluster battery and condense its report.
 
@@ -162,6 +254,7 @@ def _run_cluster_trial(
             fault_plan=fault_plan,
             seed=seed,
             max_time=trial.max_time,
+            trace_level=trace_level,
         )
         transactions = trial.workload.factory(trial.n, seed)
         report = run_cluster(config, transactions)
@@ -185,21 +278,61 @@ def _run_cluster_trial(
     summary["protocol"] = trial.protocol.label  # the sweep's label, not the class name
     base.extra = summary
     if collector is not None:
-        base.extra = {**summary, **(collector(trial, report) or {})}
+        try:
+            base.extra = {**summary, **(collector(trial, report) or {})}
+        except Exception:
+            base.error = traceback.format_exc(limit=8)
     return base
 
 
 # --------------------------------------------------------------------------- #
 # worker plumbing (fork start method only; see module docstring)
 # --------------------------------------------------------------------------- #
-def _pool_init(trials: List[TrialSpec], collector: Optional[Collector]) -> None:
-    global _WORKER_TRIALS, _WORKER_COLLECTOR
+def _pool_init(
+    trials: List[TrialSpec],
+    collector: Optional[Collector],
+    levels: tuple = (None, "full"),
+    chunk: int = 1,
+) -> None:
+    global _WORKER_TRIALS, _WORKER_COLLECTOR, _WORKER_LEVELS, _WORKER_CHUNK
     _WORKER_TRIALS = trials
     _WORKER_COLLECTOR = collector
+    _WORKER_LEVELS = levels
+    _WORKER_CHUNK = chunk
 
 
 def _run_index(index: int) -> TrialResult:
-    return run_trial(_WORKER_TRIALS[index], _WORKER_COLLECTOR)
+    trial = _WORKER_TRIALS[index]
+    override, default = _WORKER_LEVELS
+    return run_trial(
+        trial, _WORKER_COLLECTOR, trace_level=_effective_level(trial, override, default)
+    )
+
+
+def _run_chunk(chunk_index: int) -> SweepAggregate:
+    """Fold one contiguous trial-index chunk into a partial aggregate.
+
+    Runs inside a worker: the chunk ``[start, stop)`` is folded in index
+    order into a fresh :class:`SweepAggregate`, and the whole bundle — a few
+    cell accumulators, not per-trial records — is the only thing shipped back
+    over the result queue.  The parent merges bundles in chunk order, which
+    (with order-independent accumulators) reproduces the per-trial fold
+    byte for byte.
+    """
+    start = chunk_index * _WORKER_CHUNK
+    stop = min(start + _WORKER_CHUNK, len(_WORKER_TRIALS))
+    override, default = _WORKER_LEVELS
+    partial = SweepAggregate()
+    for index in range(start, stop):
+        trial = _WORKER_TRIALS[index]
+        partial.fold(
+            run_trial(
+                trial,
+                _WORKER_COLLECTOR,
+                trace_level=_effective_level(trial, override, default),
+            )
+        )
+    return partial
 
 
 def _resolve_workers(workers: Optional[int], n_trials: int) -> int:
@@ -247,11 +380,15 @@ def _fork_available() -> bool:
 
 
 #: cap on the pool chunk size in streaming mode, so a worker never buffers an
-#: unbounded slice of results before shipping them back
+#: unbounded slice of results (or folds an unbounded chunk) before shipping
+#: back to the parent
 _MAX_STREAM_CHUNK = 64
 
 #: the modes run_trials/run_sweep accept
 _MODES = ("full", "aggregate")
+
+#: the fold strategies streaming sweeps accept
+_FOLDS = ("auto", "trial", "chunk")
 
 
 def run_trials(
@@ -260,54 +397,110 @@ def run_trials(
     collector: Optional[Collector] = None,
     mode: str = "full",
     reducer: Optional[Any] = None,
+    trace_level: Optional[str] = None,
+    fold: str = "auto",
 ) -> Union[SweepResult, Any]:
     """Run an explicit trial list (see :func:`repro.exp.spec.make_cases`)."""
     if mode not in _MODES:
         raise ConfigurationError(
             f"unknown sweep mode {mode!r}; expected one of {_MODES}"
         )
+    if fold not in _FOLDS:
+        raise ConfigurationError(
+            f"unknown fold strategy {fold!r}; expected one of {_FOLDS}"
+        )
+    if trace_level is not None and trace_level not in TRACE_LEVELS:
+        raise ConfigurationError(
+            f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
+        )
     trials = list(trials)
     streaming = mode == "aggregate" or reducer is not None
+    if fold == "chunk" and reducer is not None:
+        raise ConfigurationError(
+            "fold='chunk' requires the default SweepAggregate sink; custom "
+            "reducers only expose per-trial fold() and cannot merge partials"
+        )
+    if fold == "chunk" and not streaming:
+        raise ConfigurationError(
+            "fold='chunk' only applies to streaming sweeps; pass "
+            "mode='aggregate' (mode='full' returns every TrialResult and "
+            "has nothing to fold)"
+        )
+    # aggregate-mode sweeps only read the tallies a CounterTrace maintains,
+    # so they default to the counters level — unless a collector needs the
+    # live (full) trace, or the caller/grid pinned a level
+    default_level = "counters" if (streaming and collector is None) else "full"
+    levels = (trace_level, default_level)
     n_workers = _resolve_workers(workers, len(trials))
     use_pool = (
         n_workers > 1 and len(trials) >= _MIN_TRIALS_FOR_POOL and _fork_available()
     )
     exec_mode = "parallel" if use_pool else "serial"
+    # the level(s) the trials actually run at: the sweep override wins, then
+    # any per-trial GridSpec pin, then the mode-dependent default
+    resolved_levels = {_effective_level(t, trace_level, default_level) for t in trials}
+    if len(resolved_levels) == 1:
+        level_label = resolved_levels.pop()
+    elif resolved_levels:
+        level_label = "mixed"
+    else:  # empty trial list
+        level_label = trace_level or default_level
     meta = {
         "mode": exec_mode,
         "workers": n_workers if use_pool else 1,
         "requested_workers": workers,
         "trials": len(trials),
         "sweep_mode": "aggregate" if streaming else "full",
+        "trace_level": level_label,
     }
 
     if not streaming:
         if use_pool:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(
-                processes=n_workers, initializer=_pool_init, initargs=(trials, collector)
+                processes=n_workers,
+                initializer=_pool_init,
+                initargs=(trials, collector, levels),
             ) as pool:
                 chunk = max(1, len(trials) // (n_workers * 4))
                 results = pool.map(_run_index, range(len(trials)), chunksize=chunk)
         else:
-            results = [run_trial(trial, collector) for trial in trials]
+            results = [
+                run_trial(t, collector, trace_level=_effective_level(t, *levels))
+                for t in trials
+            ]
         return SweepResult(trials=results, meta=meta)
 
-    # streaming: fold each result the moment it arrives, in trial-index order
-    # (imap yields in submission order), then drop it — identical operation
-    # order to a serial run, bounded memory
+    # streaming: per-trial folds stream every TrialResult back and fold it in
+    # trial-index order (imap yields in submission order); chunk folds let
+    # each worker fold its contiguous chunk locally and ship one partial
+    # accumulator bundle per chunk, merged in chunk order — byte-identical
+    # either way because the accumulators are order-independent
     sink = reducer if reducer is not None else SweepAggregate()
+    chunked = fold != "trial" and reducer is None
     if use_pool:
         ctx = multiprocessing.get_context("fork")
+        chunk = max(1, min(_MAX_STREAM_CHUNK, len(trials) // (n_workers * 4)))
         with ctx.Pool(
-            processes=n_workers, initializer=_pool_init, initargs=(trials, collector)
+            processes=n_workers,
+            initializer=_pool_init,
+            initargs=(trials, collector, levels, chunk),
         ) as pool:
-            chunk = max(1, min(_MAX_STREAM_CHUNK, len(trials) // (n_workers * 4)))
-            for result in pool.imap(_run_index, range(len(trials)), chunksize=chunk):
-                sink.fold(result)
+            if chunked:
+                n_chunks = (len(trials) + chunk - 1) // chunk
+                for partial in pool.imap(_run_chunk, range(n_chunks), chunksize=1):
+                    sink.merge(partial)
+                meta["fold"] = "chunk"
+                meta["chunk_size"] = chunk
+                meta["chunks"] = n_chunks
+            else:
+                for result in pool.imap(_run_index, range(len(trials)), chunksize=chunk):
+                    sink.fold(result)
+                meta["fold"] = "trial"
     else:
         for trial in trials:
-            sink.fold(run_trial(trial, collector))
+            sink.fold(run_trial(trial, collector, trace_level=_effective_level(trial, *levels)))
+        meta["fold"] = "trial"
     if hasattr(sink, "meta"):
         sink.meta.update(meta)
     return sink
@@ -319,6 +512,8 @@ def run_sweep(
     collector: Optional[Collector] = None,
     mode: str = "full",
     reducer: Optional[Any] = None,
+    trace_level: Optional[str] = None,
+    fold: str = "auto",
 ) -> Union[SweepResult, Any]:
     """Expand a grid and run every trial, fanning out across workers.
 
@@ -350,6 +545,37 @@ def run_sweep(
         method.  Implies streaming regardless of ``mode``; the engine folds
         every result in trial-index order and returns the reducer (updating
         its ``meta`` dict attribute, if present, with execution metadata).
+        Custom reducers always fold per trial (``fold="chunk"`` is rejected).
+    trace_level:
+        ``"full"`` or ``"counters"`` (see :mod:`repro.sim.trace`), applied to
+        every trial of this sweep.  ``None`` (default) picks ``"counters"``
+        for aggregate-mode sweeps without a collector — the fast path: no
+        per-message records are allocated — and ``"full"`` otherwise; a
+        per-grid ``GridSpec(trace_level=...)`` pin sits between the two.
+        Aggregate tables and fingerprints are byte-identical across levels.
+        Note a ``"counters"`` pin wins over the collector-keeps-full-traces
+        default: a collector that needs per-message records must not be
+        combined with such a pin (its failure is captured per trial in
+        ``TrialResult.error``, like any simulation failure).
+    fold:
+        Streaming fold strategy.  ``"auto"`` (default) uses worker-side
+        chunk folds — one partial accumulator bundle shipped per contiguous
+        trial chunk instead of one TrialResult per trial — whenever the sink
+        is the default :class:`~repro.exp.results.SweepAggregate` and a pool
+        is in use; ``"trial"`` forces per-trial streaming.  ``"chunk"``
+        selects chunk folds for pooled runs and is rejected with a custom
+        reducer (which only exposes per-trial ``fold``); a serial run has no
+        result IPC to cut, so it always folds per trial and records the
+        executed path in ``meta["fold"]``.  Fingerprints are byte-identical
+        across fold strategies and worker counts.
     """
     trials = grid.trials() if isinstance(grid, GridSpec) else list(grid)
-    return run_trials(trials, workers=workers, collector=collector, mode=mode, reducer=reducer)
+    return run_trials(
+        trials,
+        workers=workers,
+        collector=collector,
+        mode=mode,
+        reducer=reducer,
+        trace_level=trace_level,
+        fold=fold,
+    )

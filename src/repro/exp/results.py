@@ -10,14 +10,17 @@ byte-identical aggregates.
 
 For sweeps too large to hold every trial (the engine's ``mode="aggregate"``),
 :class:`SweepAggregate` folds the same trial stream into per-coordinate
-accumulators instead: counts, commit/abort tallies, message totals, running
-means and an exact latency digest (value -> multiplicity) for the
-nearest-rank p50/p99.  Folding in trial-index order performs the *same
-floating-point operations in the same order* as the in-memory path, so the
-aggregate rows — and therefore :meth:`SweepAggregate.aggregate_fingerprint` —
-are byte-identical to :meth:`SweepResult.aggregate_rows` on the same grid and
-seeds, while memory stays bounded by the number of grid cells (plus distinct
-latency values), never by the number of trials.
+accumulators instead: counts, commit/abort tallies, message totals, and exact
+value -> multiplicity digests for latencies and decision times.  Every
+accumulator statistic is *order-independent* (integer tallies, digests,
+boolean ANDs; the float reductions are computed from sorted digests at row
+time), so the aggregate rows — and therefore
+:meth:`SweepAggregate.aggregate_fingerprint` — are byte-identical to
+:meth:`SweepResult.aggregate_rows` on the same grid and seeds, and partial
+accumulators folded on different workers merge (:meth:`SweepAggregate.merge`)
+to the same bytes as a single-stream fold.  Memory stays bounded by the
+number of grid cells (plus distinct latency values), never by the number of
+trials.
 """
 
 from __future__ import annotations
@@ -155,20 +158,40 @@ def _digest_percentile(counts: Dict[float, int], total: int, q: float) -> Option
     return None  # pragma: no cover - rank <= total guarantees a hit
 
 
+def _digest_sum(counts: Dict[float, int]) -> float:
+    """Deterministic sum over a value → multiplicity digest.
+
+    Walking the *sorted* distinct values makes the floating-point operation
+    sequence a pure function of the digest contents — independent of the
+    order the values were folded in.  This is what lets partial accumulators
+    folded on different workers merge into byte-identical aggregates.
+    """
+    total = 0.0
+    for value in sorted(counts):
+        total += value * counts[value]
+    return total
+
+
 class CellAccumulator:
     """Streaming aggregate of all trials sharing one grid coordinate.
 
-    Folding trials in index order performs the identical sequence of
-    arithmetic operations as aggregating the materialised trial list, so the
-    produced :meth:`row` is byte-identical either way.  State is O(1) per cell
-    plus the latency digest (one entry per *distinct* decision latency —
-    bounded by the delay model's support, not by the trial count, for the
-    deterministic models used in large sweeps).
+    Every statistic is kept in an *order-independent* representation —
+    integer tallies, value → multiplicity digests, boolean ANDs — and the
+    floating-point reductions (means, percentiles) are computed from the
+    digests at :meth:`row` time over sorted distinct values.  The produced
+    row is therefore a pure function of the trial *set*, which makes three
+    paths byte-identical by construction: in-memory aggregation
+    (:meth:`SweepResult.aggregate_rows`), per-trial streaming folds, and
+    worker-side partial accumulators combined with :meth:`merge`.
+
+    State is O(1) per cell plus the digests (one entry per *distinct*
+    latency / last-decision value — bounded by the delay model's support,
+    not by the trial count, for the deterministic models large sweeps use).
     """
 
     __slots__ = (
         "key", "first_index", "execution_class", "count", "commits", "solved",
-        "sum_last", "n_last", "max_last", "latency_counts", "n_latencies",
+        "last_counts", "n_last", "latency_counts", "n_latencies",
         "sum_messages", "sum_messages_sent", "all_held",
     )
 
@@ -179,9 +202,8 @@ class CellAccumulator:
         self.count = 0
         self.commits = 0
         self.solved = 0
-        self.sum_last = 0
+        self.last_counts: Dict[float, int] = {}
         self.n_last = 0
-        self.max_last: Optional[float] = None
         self.latency_counts: Dict[float, int] = {}
         self.n_latencies = 0
         self.sum_messages = 0
@@ -195,10 +217,9 @@ class CellAccumulator:
         if trial.solves_nbac():
             self.solved += 1
         if trial.last_decision is not None:
-            self.sum_last = self.sum_last + trial.last_decision
+            last = trial.last_decision
+            self.last_counts[last] = self.last_counts.get(last, 0) + 1
             self.n_last += 1
-            if self.max_last is None or trial.last_decision > self.max_last:
-                self.max_last = trial.last_decision
         for latency in trial.decision_latencies:
             self.latency_counts[latency] = self.latency_counts.get(latency, 0) + 1
             self.n_latencies += 1
@@ -207,6 +228,31 @@ class CellAccumulator:
         for _, attr in _PROPERTIES:
             if not getattr(trial, attr):
                 self.all_held[attr] = False
+
+    def merge(self, other: "CellAccumulator") -> None:
+        """Fold another accumulator of the *same cell* into this one.
+
+        Exact for every statistic: tallies add, digests add multiplicities,
+        property flags AND — no float summation order is involved, so a
+        chunked worker-side fold merges to the same bytes a per-trial fold
+        produces.
+        """
+        if other.first_index < self.first_index:
+            self.first_index = other.first_index
+            self.execution_class = other.execution_class
+        self.count += other.count
+        self.commits += other.commits
+        self.solved += other.solved
+        for value, count in other.last_counts.items():
+            self.last_counts[value] = self.last_counts.get(value, 0) + count
+        self.n_last += other.n_last
+        for value, count in other.latency_counts.items():
+            self.latency_counts[value] = self.latency_counts.get(value, 0) + count
+        self.n_latencies += other.n_latencies
+        self.sum_messages += other.sum_messages
+        self.sum_messages_sent += other.sum_messages_sent
+        for _, attr in _PROPERTIES:
+            self.all_held[attr] = self.all_held[attr] and other.all_held[attr]
 
     def held_label(self) -> str:
         return "".join(label for label, attr in _PROPERTIES if self.all_held[attr])
@@ -226,9 +272,9 @@ class CellAccumulator:
             "commit_rate": round(self.commits / self.count, 6),
             "solved_rate": round(self.solved / self.count, 6),
             "mean_delays": _round_opt(
-                self.sum_last / self.n_last if self.n_last else None
+                _digest_sum(self.last_counts) / self.n_last if self.n_last else None
             ),
-            "max_delays": self.max_last,
+            "max_delays": max(self.last_counts) if self.last_counts else None,
             "p50_latency": _round_opt(
                 _digest_percentile(self.latency_counts, self.n_latencies, 50)
             ),
@@ -364,6 +410,21 @@ class RobustnessFold:
             if not getattr(trial, attr):
                 flags[attr] = False
 
+    def merge(self, other: "RobustnessFold") -> None:
+        """AND-combine another fold (exact: the quantifier is associative)."""
+        for cls in other._classes_seen:
+            if cls not in self._classes_seen:
+                self._classes_seen.append(cls)
+        for protocol, per_class in other._held.items():
+            mine = self._held.setdefault(protocol, {})
+            for cls, flags in per_class.items():
+                existing = mine.get(cls)
+                if existing is None:
+                    mine[cls] = dict(flags)
+                else:
+                    for _, attr in _PROPERTIES:
+                        existing[attr] = existing[attr] and flags[attr]
+
     def rows(self) -> List[Dict[str, Any]]:
         rows = []
         for protocol in sorted(self._held):
@@ -425,6 +486,28 @@ class SweepAggregate:
             )
         cell.fold(trial)
         self._robustness.fold(trial)
+
+    def merge(self, other: "SweepAggregate") -> None:
+        """Combine a partial aggregate (one worker's contiguous trial chunk).
+
+        The engine's chunk fold calls this once per chunk *in trial-index
+        order*; because every cell statistic is order-independent (see
+        :meth:`CellAccumulator.merge`), the merged aggregate is byte-identical
+        to folding the same trials one at a time.
+        """
+        self.total_trials += other.total_trials
+        self.error_count += other.error_count
+        for error in other.sample_errors:
+            if len(self.sample_errors) >= self.MAX_SAMPLE_ERRORS:
+                break
+            self.sample_errors.append(error)
+        for key, cell in other._cells.items():
+            mine = self._cells.get(key)
+            if mine is None:
+                self._cells[key] = cell
+            else:
+                mine.merge(cell)
+        self._robustness.merge(other._robustness)
 
     @property
     def cell_count(self) -> int:

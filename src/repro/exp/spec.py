@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import ConfigurationError
 from repro.sim.faults import FaultPlan
 from repro.sim.network import DelayModel, FixedDelay
+from repro.sim.trace import TRACE_LEVELS
 
 # --------------------------------------------------------------------------- #
 # vote patterns
@@ -307,6 +308,11 @@ class TrialSpec:
     base_seed: int
     max_time: float = 500.0
     workload: Optional[WorkloadSpec] = None
+    #: ``None`` defers to the engine (aggregate-mode sweeps run "counters",
+    #: everything else "full"); an explicit level pins this trial.  Not part
+    #: of :meth:`key`, so the derived seed — and therefore every measurement
+    #: — is identical across trace levels.
+    trace_level: Optional[str] = None
 
     @property
     def workload_label(self) -> str:
@@ -348,8 +354,16 @@ class GridSpec:
     workloads: Sequence[WorkloadLike] = (None,)
     seeds: Sequence[int] = (0,)
     max_time: float = 500.0
+    #: ``None`` (default) lets the engine pick per sweep mode: "counters"
+    #: for aggregate-mode sweeps, "full" otherwise.  Set explicitly to pin.
+    trace_level: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.trace_level is not None and self.trace_level not in TRACE_LEVELS:
+            raise ConfigurationError(
+                f"unknown trace_level {self.trace_level!r}; "
+                f"expected one of {TRACE_LEVELS} (or None to defer to the engine)"
+            )
         if not self.protocols:
             # registry-driven default: sweep every implemented protocol
             from repro.protocols.registry import protocol_names
@@ -411,6 +425,7 @@ class GridSpec:
                                             base_seed=seed,
                                             max_time=self.max_time,
                                             workload=workload,
+                                            trace_level=self.trace_level,
                                         )
                                     )
                                     index += 1
@@ -437,10 +452,16 @@ def make_cases(
     out: List[TrialSpec] = []
     for index, case in enumerate(cases):
         unknown = set(case) - {
-            "protocol", "n", "f", "delay", "fault", "votes", "workload", "seed", "max_time",
+            "protocol", "n", "f", "delay", "fault", "votes", "workload", "seed",
+            "max_time", "trace_level",
         }
         if unknown:
             raise ConfigurationError(f"unknown case keys: {sorted(unknown)}")
+        trace_level = case.get("trace_level")
+        if trace_level is not None and trace_level not in TRACE_LEVELS:
+            raise ConfigurationError(
+                f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
+            )
         out.append(
             TrialSpec(
                 index=index,
@@ -453,6 +474,7 @@ def make_cases(
                 base_seed=int(case.get("seed", base_seed)),
                 max_time=float(case.get("max_time", max_time)),
                 workload=coerce_workload(case.get("workload")),
+                trace_level=trace_level,
             )
         )
     return out

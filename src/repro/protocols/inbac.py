@@ -110,20 +110,31 @@ class INBAC(AtomicCommitProcess):
         for sender in required_senders:
             if sender not in by_sender:
                 return None
+        # hoisted out of the sender loops: these sets are loop-invariant, and
+        # once one sender has contributed every process' vote the remaining
+        # setdefault sweeps cannot add anything (backed-up pids are always
+        # drawn from 1..n, so n collected votes means full coverage)
+        all_pids = set(self.all_pids())
+        n_pids = len(all_pids)
+        low_pids = set(range(1, self.f + 1))
         votes: Dict[int, int] = {}
         for sender in required_full:
-            covered = {pid for pid, _ in by_sender[sender]}
-            if not set(self.all_pids()) <= covered:
+            backed_up = by_sender[sender]
+            covered = {pid for pid, _ in backed_up}
+            if not all_pids <= covered:
                 return None
-            for pid, vote in by_sender[sender]:
-                votes.setdefault(pid, vote)
+            if len(votes) < n_pids:
+                for pid, vote in backed_up:
+                    votes.setdefault(pid, vote)
         for sender in required_partial:
-            covered = {pid for pid, _ in by_sender[sender]}
-            if not set(range(1, self.f + 1)) <= covered:
+            backed_up = by_sender[sender]
+            covered = {pid for pid, _ in backed_up}
+            if not low_pids <= covered:
                 return None
-            for pid, vote in by_sender[sender]:
-                votes.setdefault(pid, vote)
-        if not all(pid in votes for pid in self.all_pids()):
+            if len(votes) < n_pids:
+                for pid, vote in backed_up:
+                    votes.setdefault(pid, vote)
+        if not all(pid in votes for pid in all_pids):
             return None
         return votes
 
@@ -200,11 +211,13 @@ class INBAC(AtomicCommitProcess):
     def _phase0_timeout(self) -> None:
         """At time U the backup processes acknowledge the votes they back up."""
         if 1 <= self.pid <= self.f:
+            ack = ("C", frozenset(self.collection0))  # immutable: one copy for all
             for q in self.all_pids():
-                self.send(q, ("C", frozenset(self.collection0)))
+                self.send(q, ack)
         elif self.pid == self.f + 1:
+            ack = ("C", frozenset(self.collection0))
             for q in self.first_f():
-                self.send(q, ("C", frozenset(self.collection0)))
+                self.send(q, ack)
         self.phase = 1
         self.set_timer(2)
 

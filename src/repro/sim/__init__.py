@@ -31,10 +31,11 @@ from repro.sim.network import (
 )
 from repro.sim.process import Process, ProcessEnv
 from repro.sim.runner import Simulation, SimulationResult
-from repro.sim.trace import DecisionRecord, MessageRecord, Trace
+from repro.sim.trace import TRACE_LEVELS, CounterTrace, DecisionRecord, MessageRecord, Trace
 
 __all__ = [
     "AdversarialDelay",
+    "CounterTrace",
     "CrashEvent",
     "DecisionRecord",
     "DelayModel",
@@ -50,6 +51,7 @@ __all__ = [
     "ProposeEvent",
     "Simulation",
     "SimulationResult",
+    "TRACE_LEVELS",
     "TimerEvent",
     "Trace",
     "UniformDelay",

@@ -10,6 +10,26 @@ Two layers:
   as ``Propose`` events at time 0, runs the loop and returns a
   :class:`SimulationResult` bundling the trace with the process objects (so
   tests can inspect internal state such as INBAC's branch log).
+
+Trace levels
+------------
+Both layers take a ``trace_level``:
+
+* ``"full"`` (default) — every message becomes a
+  :class:`~repro.sim.trace.MessageRecord` in a :class:`~repro.sim.trace.Trace`;
+  the audit-grade level every per-message analysis needs.
+* ``"counters"`` — a :class:`~repro.sim.trace.CounterTrace`: the scheduler
+  allocates no message records at all and maintains only the running tallies
+  (counted-message totals, per-module counts, a receive-time digest) that
+  aggregate sweeps consume.  Aggregate queries answer byte-identically to a
+  full-trace run of the same execution, at a fraction of the per-event cost;
+  :func:`repro.exp.run_sweep` defaults its aggregate mode to this level.
+
+Event bookkeeping is O(1) per event at either level: message delivery marks
+records through an msg-id → record map (never a scan of the message log), and
+the common "stop once every correct process has decided" condition is a
+decremented counter maintained by :meth:`Scheduler.record_decision`, not a
+predicate re-evaluated over every process id on every event.
 """
 
 from __future__ import annotations
@@ -37,7 +57,7 @@ from repro.sim.events import (
 from repro.sim.faults import FaultPlan
 from repro.sim.network import DelayModel, FixedDelay, Network
 from repro.sim.process import Process
-from repro.sim.trace import Trace
+from repro.sim.trace import TRACE_LEVELS, CounterTrace, MessageRecord, Trace
 
 ProcessFactory = Callable[[int, int, int, "SimEnv"], Process]
 
@@ -79,29 +99,43 @@ class Scheduler:
         seed: int = 0,
         max_time: float = 500.0,
         protocol_name: str = "",
+        trace_level: str = "full",
     ):
         if n < 2:
             raise ConfigurationError(f"need at least 2 processes, got n={n}")
         if not 1 <= f <= n - 1:
             raise ConfigurationError(f"f must satisfy 1 <= f <= n-1, got f={f}, n={n}")
+        if trace_level not in TRACE_LEVELS:
+            raise ConfigurationError(
+                f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
+            )
         self.n = n
         self.f = f
         self.seed = seed
         self.max_time = max_time
+        self.trace_level = trace_level
         self.clock = VirtualClock(unit=1.0)
         self.network = Network(delay_model or FixedDelay(1.0))
         self.fault_plan = fault_plan or FaultPlan.failure_free()
         self.fault_plan.validate(n, f)
         self.network.install_overrides(self.fault_plan.delay_rules)
-        self.trace = Trace(n=n, f=f, u=self.network.u, protocol=protocol_name)
+        trace_cls = Trace if trace_level == "full" else CounterTrace
+        self.trace = trace_cls(n=n, f=f, u=self.network.u, protocol=protocol_name)
         self.processes: Dict[int, Process] = {}
         self.envs: Dict[int, SimEnv] = {pid: SimEnv(self, pid) for pid in range(1, n + 1)}
         self._heap: List[tuple] = []
         self._seq = 0
         self._msg_counter = 0
+        #: in-flight records by msg id, so delivery marking is O(1) (records
+        #: are popped on delivery); empty at the counters level
+        self._pending_records: Dict[int, MessageRecord] = {}
         self._timer_generation: Dict[tuple, int] = {}
         self._stopped = False
         self._stop_predicate: Optional[Callable[["Scheduler"], bool]] = None
+        # all-correct-decided stop condition as a decremented counter (see
+        # stop_when_all_correct_decided); None = not armed
+        self._correct_pids: Optional[frozenset] = None
+        self._undecided_correct = 0
         # schedule crashes up front
         for pid, at in self.fault_plan.crashes.items():
             self._push(CrashEvent(time=at, priority=PRIORITY_CRASH, seq=self._next_seq(), pid=pid))
@@ -164,16 +198,11 @@ class Scheduler:
             delay = self.network.transit_delay(src, dst, payload, send_time, msg_id)
             recv_time = send_time + delay
             counted = True
-        self.trace.record_send(
-            msg_id=msg_id,
-            src=src,
-            dst=dst,
-            payload=payload,
-            send_time=send_time,
-            recv_time=recv_time,
-            counted=counted,
-            module=module,
+        record = self.trace.record_send(
+            msg_id, src, dst, payload, send_time, recv_time, counted, module
         )
+        if record is not None:  # the counters level keeps no records
+            self._pending_records[msg_id] = record
         self._push(
             MessageDeliveryEvent(
                 time=recv_time,
@@ -215,12 +244,30 @@ class Scheduler:
                 f"P{pid} attempted to decide twice (integrity violation)"
             )
         self.trace.record_decision(pid, value, self.clock.time_to_units(self.clock.now))
+        if self._correct_pids is not None and pid in self._correct_pids:
+            self._undecided_correct -= 1
 
     # ------------------------------------------------------------------ #
     # the loop
     # ------------------------------------------------------------------ #
     def set_stop_predicate(self, predicate: Optional[Callable[["Scheduler"], bool]]) -> None:
         self._stop_predicate = predicate
+
+    def stop_when_all_correct_decided(self) -> None:
+        """Stop the loop once every never-crashing process has decided.
+
+        O(1) per event: :meth:`record_decision` decrements a counter of
+        undecided correct processes, and the loop stops when it reaches zero
+        — behaviour-identical to (but never re-scanning like) the predicate
+        ``all(pid in trace.decisions for pid in correct_pids)``.
+        """
+        correct = frozenset(
+            pid for pid in range(1, self.n + 1) if pid not in self.fault_plan.crashes
+        )
+        self._correct_pids = correct
+        self._undecided_correct = sum(
+            1 for pid in correct if pid not in self.trace.decisions
+        )
 
     def run(self) -> Trace:
         """Process events until the queue drains, max_time passes, or stop fires."""
@@ -232,6 +279,8 @@ class Scheduler:
             self._dispatch(event)
             if self._stopped:
                 break
+            if self._correct_pids is not None and self._undecided_correct == 0:
+                break
             if self._stop_predicate is not None and self._stop_predicate(self):
                 break
         self.trace.end_time = self.clock.time_to_units(self.clock.now)
@@ -241,6 +290,28 @@ class Scheduler:
         self._stopped = True
 
     def _dispatch(self, event: Event) -> None:
+        # ordered by frequency: deliveries dominate every run, then timers
+        if isinstance(event, MessageDeliveryEvent):
+            # popped even when the destination is gone, so the map stays
+            # bounded by in-flight messages; only real deliveries are marked
+            record = self._pending_records.pop(event.msg_id, None)
+            process = self.processes.get(event.dst)
+            if process is None or process.crashed:
+                return
+            if record is not None:
+                record.delivered = True
+            process.deliver(event.src, event.payload)
+            return
+        if isinstance(event, TimerEvent):
+            process = self.processes.get(event.pid)
+            if process is None or process.crashed:
+                return
+            key = (event.pid, event.name)
+            if self._timer_generation.get(key, 0) != event.generation:
+                return  # superseded or cancelled
+            self.trace.record_timer(event.pid, event.name, self.clock.time_to_units(event.time))
+            process.timeout(event.name)
+            return
         if isinstance(event, CrashEvent):
             process = self.processes.get(event.pid)
             if process is not None and not process.crashed:
@@ -252,26 +323,14 @@ class Scheduler:
             if callable(event.action):
                 event.action(self, event)
             return
-        process = self.processes.get(getattr(event, "pid", getattr(event, "dst", -1)))
-        if process is None or process.crashed:
-            return
         if isinstance(event, ProposeEvent):
+            process = self.processes.get(event.pid)
+            if process is None or process.crashed:
+                return
             self.trace.record_proposal(
                 event.pid, event.value, self.clock.time_to_units(event.time)
             )
             process.on_propose(event.value)
-        elif isinstance(event, MessageDeliveryEvent):
-            for record in reversed(self.trace.messages):
-                if record.msg_id == event.msg_id:
-                    record.delivered = True
-                    break
-            process.deliver(event.src, event.payload)
-        elif isinstance(event, TimerEvent):
-            key = (event.pid, event.name)
-            if self._timer_generation.get(key, 0) != event.generation:
-                return  # superseded or cancelled
-            self.trace.record_timer(event.pid, event.name, self.clock.time_to_units(event.time))
-            process.timeout(event.name)
 
 
 @dataclass
@@ -290,6 +349,11 @@ class SimulationResult:
 
 class Simulation:
     """Protocol-level driver: one protocol instance, one set of votes, one run.
+
+    A ``Simulation`` is reusable: the sweep engine builds one per grid cell
+    and calls :meth:`run` once per trial with per-trial ``delay_model=`` /
+    ``fault_plan=`` / ``seed=`` overrides, so the protocol factory and vote
+    resolution are paid once per cell rather than once per trial.
 
     Example
     -------
@@ -312,10 +376,15 @@ class Simulation:
         max_time: float = 500.0,
         stop_when_all_correct_decided: bool = True,
         protocol_kwargs: Optional[Dict[str, Any]] = None,
+        trace_level: str = "full",
     ):
         if (process_class is None) == (process_factory is None):
             raise ConfigurationError(
                 "provide exactly one of process_class= or process_factory="
+            )
+        if trace_level not in TRACE_LEVELS:
+            raise ConfigurationError(
+                f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
             )
         self.n = n
         self.f = f
@@ -327,6 +396,11 @@ class Simulation:
         self._seed = seed
         self._max_time = max_time
         self._stop_when_decided = stop_when_all_correct_decided
+        self._trace_level = trace_level
+        self._factory = self._make_factory()
+        self._protocol_name = (
+            process_class.__name__ if process_class is not None else "custom"
+        )
 
     def _make_factory(self) -> ProcessFactory:
         if self._process_factory is not None:
@@ -338,8 +412,20 @@ class Simulation:
 
         return factory
 
-    def run(self, votes: Union[Sequence[Any], Dict[int, Any]]) -> SimulationResult:
-        """Run one execution with the given per-process votes."""
+    def run(
+        self,
+        votes: Union[Sequence[Any], Dict[int, Any]],
+        *,
+        delay_model: Optional[DelayModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        seed: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run one execution with the given per-process votes.
+
+        ``delay_model`` / ``fault_plan`` / ``seed`` override the constructor
+        defaults for this run only — the hook the sweep engine uses to reuse
+        one ``Simulation`` per grid cell across per-trial-seeded models.
+        """
         if isinstance(votes, dict):
             vote_map = dict(votes)
         else:
@@ -349,35 +435,24 @@ class Simulation:
                 )
             vote_map = {pid: votes[pid - 1] for pid in range(1, self.n + 1)}
 
-        protocol_name = (
-            self._process_class.__name__ if self._process_class is not None else "custom"
-        )
         scheduler = Scheduler(
             n=self.n,
             f=self.f,
-            delay_model=self._delay_model,
-            fault_plan=self._fault_plan,
-            seed=self._seed,
+            delay_model=delay_model if delay_model is not None else self._delay_model,
+            fault_plan=fault_plan if fault_plan is not None else self._fault_plan,
+            seed=seed if seed is not None else self._seed,
             max_time=self._max_time,
-            protocol_name=protocol_name,
+            protocol_name=self._protocol_name,
+            trace_level=self._trace_level,
         )
-        scheduler.bind_processes(self._make_factory())
+        scheduler.bind_processes(self._factory)
         for pid in range(1, self.n + 1):
             scheduler.processes[pid].on_start()
         for pid, vote in vote_map.items():
             scheduler.post_propose(pid, vote, at=0.0)
 
         if self._stop_when_decided:
-            correct = [
-                pid
-                for pid in range(1, self.n + 1)
-                if pid not in scheduler.fault_plan.crashes
-            ]
-
-            def all_correct_decided(s: Scheduler) -> bool:
-                return all(pid in s.trace.decisions for pid in correct)
-
-            scheduler.set_stop_predicate(all_correct_decided)
+            scheduler.stop_when_all_correct_decided()
 
         trace = scheduler.run()
         trace.metadata["fault_plan"] = scheduler.fault_plan.description

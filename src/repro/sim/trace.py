@@ -6,12 +6,30 @@ metrics — number of messages exchanged, number of message delays, which
 properties hold — are *derived* from the trace after the run, never tracked
 inside protocol code.  This keeps protocol implementations close to the
 paper's pseudocode and makes the metrics auditable.
+
+Two trace levels (selected by the scheduler's ``trace_level``):
+
+* ``"full"`` — :class:`Trace`: one :class:`MessageRecord` per message, the
+  audit-grade record every per-message query (``counted_messages``,
+  ``messages_by_kind``, ``causal_depth``) is computed from.
+* ``"counters"`` — :class:`CounterTrace`: no per-message records at all.
+  ``record_send`` maintains a handful of running tallies (total counted
+  messages, per-module counts, a receive-time → multiplicity digest), which
+  is everything the sweep engine's aggregate tables need.  The aggregate
+  queries (``message_count``, ``messages_received_by``,
+  ``module_histogram``, decisions/crashes/proposals) return byte-identical
+  answers to a full trace of the same execution; the per-message queries
+  raise :class:`~repro.errors.SimulationError` because the records were
+  never kept.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: the trace levels the scheduler accepts
+TRACE_LEVELS = ("full", "counters")
 
 
 @dataclass
@@ -64,6 +82,9 @@ class TimerRecord:
 @dataclass
 class Trace:
     """Complete record of one execution."""
+
+    #: which trace level this class implements (see module docstring)
+    trace_level = "full"
 
     n: int = 0
     f: int = 0
@@ -185,6 +206,18 @@ class Trace:
             histogram[kind] = histogram.get(kind, 0) + 1
         return histogram
 
+    def module_histogram(self) -> Dict[str, int]:
+        """Counted messages per module tag (``"main"``, ``"consensus[...]"``, ...).
+
+        Available at every trace level — the counters level maintains the
+        per-module tallies directly instead of deriving them from records.
+        """
+        histogram: Dict[str, int] = {}
+        for record in self.messages:
+            if record.counted:
+                histogram[record.module] = histogram.get(record.module, 0) + 1
+        return histogram
+
     def sends_by_process(self) -> Dict[int, int]:
         counts: Dict[int, int] = {pid: 0 for pid in range(1, self.n + 1)}
         for m in self.counted_messages():
@@ -242,4 +275,112 @@ class Trace:
         return (
             f"Trace(protocol={self.protocol!r}, n={self.n}, f={self.f}, "
             f"messages={self.message_count()}, decided={len(self.decisions)})"
+        )
+
+
+@dataclass
+class CounterTrace(Trace):
+    """Counters-only trace: aggregate tallies, no per-message records.
+
+    Selected with ``trace_level="counters"`` on the scheduler.  Decisions,
+    proposals and crashes are recorded exactly as in a full trace (they are
+    O(n) per execution); messages are condensed on the fly into
+
+    * ``counted_total`` — the counted-message total,
+    * ``module_counts`` — counted messages per module tag,
+    * ``recv_time_counts`` — receive time → multiplicity digest, from which
+      ``messages_received_by`` answers exactly what a full trace would
+      (the digest is bounded by the number of *distinct* receive times, not
+      by the message count, for the deterministic delay models large sweeps
+      use),
+
+    so aggregate-level queries are byte-identical to a full-trace run while
+    a trial never allocates a single :class:`MessageRecord`.  Per-message
+    queries (``counted_messages``, ``messages_by_kind``, ``causal_depth``,
+    ``sends_by_process``, ``messages_sent_by``) raise
+    :class:`~repro.errors.SimulationError`: run at ``trace_level="full"``
+    when an analysis needs them.
+    """
+
+    trace_level = "counters"
+
+    counted_total: int = 0
+    module_counts: Dict[str, int] = field(default_factory=dict)
+    recv_time_counts: Dict[float, int] = field(default_factory=dict)
+    timer_expiries: int = 0
+
+    # ------------------------------------------------------------------ #
+    # recording: tallies instead of records
+    # ------------------------------------------------------------------ #
+    def record_send(
+        self,
+        msg_id: int,
+        src: int,
+        dst: int,
+        payload: Any,
+        send_time: float,
+        recv_time: float,
+        counted: bool,
+        module: str = "main",
+    ) -> None:
+        if counted:
+            self.counted_total += 1
+            counts = self.module_counts
+            counts[module] = counts.get(module, 0) + 1
+            digest = self.recv_time_counts
+            digest[recv_time] = digest.get(recv_time, 0) + 1
+        return None
+
+    def record_timer(self, pid: int, name: str, time: float) -> None:
+        self.timer_expiries += 1
+
+    # ------------------------------------------------------------------ #
+    # aggregate queries: answered from the tallies
+    # ------------------------------------------------------------------ #
+    def message_count(self, module: Optional[str] = None) -> int:
+        if module is None:
+            return self.counted_total
+        return self.module_counts.get(module, 0)
+
+    def messages_received_by(self, deadline: float, module: Optional[str] = None) -> int:
+        if module is not None:
+            raise self._unavailable("messages_received_by(module=...)")
+        cutoff = deadline + 1e-9
+        return sum(
+            count for time, count in self.recv_time_counts.items() if time <= cutoff
+        )
+
+    def module_histogram(self) -> Dict[str, int]:
+        return dict(self.module_counts)
+
+    # ------------------------------------------------------------------ #
+    # per-message queries: not recorded at this level
+    # ------------------------------------------------------------------ #
+    def _unavailable(self, what: str) -> Exception:
+        from repro.errors import SimulationError
+
+        return SimulationError(
+            f"{what} needs per-message records, which trace_level='counters' "
+            f"does not keep; run with trace_level='full'"
+        )
+
+    def counted_messages(self, module: Optional[str] = None) -> List[MessageRecord]:
+        raise self._unavailable("counted_messages()")
+
+    def messages_sent_by(self, deadline: float, module: Optional[str] = None) -> int:
+        raise self._unavailable("messages_sent_by()")
+
+    def messages_by_kind(self) -> Dict[str, int]:
+        raise self._unavailable("messages_by_kind()")
+
+    def sends_by_process(self) -> Dict[int, int]:
+        raise self._unavailable("sends_by_process()")
+
+    def causal_depth(self) -> int:
+        raise self._unavailable("causal_depth()")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CounterTrace(protocol={self.protocol!r}, n={self.n}, f={self.f}, "
+            f"messages={self.counted_total}, decided={len(self.decisions)})"
         )

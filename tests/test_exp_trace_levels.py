@@ -1,0 +1,308 @@
+"""Tests for the two trace levels of the simulation core.
+
+The contract: ``trace_level="counters"`` (a :class:`repro.sim.trace.CounterTrace`)
+never allocates a :class:`~repro.sim.trace.MessageRecord`, yet every
+aggregate-level measurement — per-module message counts, decision times,
+messages-received-by-deadline, property checks — answers byte-identically to
+a full-trace run of the same execution.  Swept over a grid, that means
+identical TrialResults, identical aggregate rows and identical
+``SweepAggregate`` fingerprints across levels, serial and parallel, for bare
+protocol trials and for cluster/workload trials alike.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.exp import GridSpec, make_cases, run_sweep, run_trial
+from repro.sim.faults import FaultPlan
+from repro.sim.network import UniformDelay
+from repro.sim.runner import Scheduler, Simulation
+from repro.sim.trace import CounterTrace, Trace
+from repro.workloads import bank_transfer_workload
+
+
+def stochastic_grid(seeds=(0, 1, 2), **overrides):
+    params = dict(
+        protocols=["INBAC", "2PC", "PaxosCommit"],
+        systems=[(4, 1), (5, 2)],
+        delays=[None, ("uniform", lambda seed: UniformDelay(0.2, 1.0, seed=seed))],
+        faults=[None, ("crash P1", FaultPlan.crash(1, at=0.0))],
+        seeds=list(seeds),
+    )
+    params.update(overrides)
+    return GridSpec(**params)
+
+
+def cluster_grid(**overrides):
+    params = dict(
+        protocols=["2PC", "INBAC"],
+        systems=[(4, 1)],
+        workloads=[
+            ("bank", bank_transfer_workload(num_transfers=6, num_partitions=4, seed=13))
+        ],
+        seeds=[7, 8],
+        max_time=2000.0,
+    )
+    params.update(overrides)
+    return GridSpec(**params)
+
+
+# --------------------------------------------------------------------------- #
+# single executions: CounterTrace answers == Trace answers
+# --------------------------------------------------------------------------- #
+class TestCounterTrace:
+    def run_both(self, **kwargs):
+        from repro.protocols.inbac import INBAC
+
+        params = dict(n=5, f=2, process_class=INBAC)
+        params.update(kwargs)
+        full = Simulation(trace_level="full", **params).run([1] * params["n"])
+        fast = Simulation(trace_level="counters", **params).run([1] * params["n"])
+        return full.trace, fast.trace
+
+    def test_aggregate_queries_identical(self):
+        full, fast = self.run_both()
+        assert isinstance(full, Trace) and isinstance(fast, CounterTrace)
+        assert fast.message_count() == full.message_count()
+        assert fast.message_count(module="main") == full.message_count(module="main")
+        assert fast.module_histogram() == full.module_histogram()
+        assert fast.decisions.keys() == full.decisions.keys()
+        assert fast.last_decision_time() == full.last_decision_time()
+        assert fast.first_decision_time() == full.first_decision_time()
+        assert fast.end_time == full.end_time
+        last = full.last_decision_time()
+        assert fast.messages_received_by(last) == full.messages_received_by(last)
+        assert fast.messages_received_by(0.5) == full.messages_received_by(0.5)
+        assert fast.correct_pids() == full.correct_pids()
+        assert fast.summary() == full.summary()
+
+    def test_crashes_and_proposals_recorded(self):
+        full, fast = self.run_both(fault_plan=FaultPlan.crash(1, at=0.0), max_time=50)
+        assert fast.crashes == full.crashes == {1: 0.0}
+        assert fast.votes() == full.votes()
+
+    def test_no_message_records_kept(self):
+        _, fast = self.run_both()
+        assert fast.messages == []
+        assert fast.counted_total > 0
+
+    def test_per_message_queries_raise(self):
+        _, fast = self.run_both()
+        for query in (
+            fast.counted_messages,
+            fast.messages_by_kind,
+            fast.sends_by_process,
+            fast.causal_depth,
+        ):
+            with pytest.raises(SimulationError, match="counters"):
+                query()
+        with pytest.raises(SimulationError):
+            fast.messages_sent_by(2.0)
+        with pytest.raises(SimulationError):
+            fast.messages_received_by(2.0, module="main")
+
+    def test_scheduler_inline_tallies_match_record_send(self):
+        # Scheduler.post_message inlines CounterTrace.record_send on the hot
+        # path; this guards the two implementations against drifting apart
+        from repro.protocols.inbac import INBAC
+
+        result = Simulation(
+            n=5, f=2, process_class=INBAC, trace_level="counters"
+        ).run([1] * 5)
+        driven = result.trace
+        replayed = CounterTrace(n=5, f=2)
+        # replay the same message volume through the real method: counts and
+        # digests must land in the same fields with the same values
+        for time, count in driven.recv_time_counts.items():
+            for _ in range(count):
+                replayed.record_send(
+                    msg_id=0, src=1, dst=2, payload=None,
+                    send_time=0.0, recv_time=time, counted=True,
+                )
+        assert replayed.counted_total == driven.counted_total
+        assert replayed.recv_time_counts == driven.recv_time_counts
+        assert sum(driven.module_counts.values()) == driven.counted_total
+
+    def test_property_checks_identical(self):
+        from repro.core.checker import check_nbac
+
+        full, fast = self.run_both()
+        report_full = check_nbac(full)
+        report_fast = check_nbac(fast)
+        assert report_fast.solves_nbac() == report_full.solves_nbac() is True
+        assert report_fast.satisfied_labels() == report_full.satisfied_labels()
+
+    def test_scheduler_rejects_unknown_level(self):
+        with pytest.raises(ConfigurationError, match="trace_level"):
+            Scheduler(n=4, f=1, trace_level="audit")
+        with pytest.raises(ConfigurationError, match="trace_level"):
+            Simulation(n=4, f=1, process_class=object, trace_level="audit")
+
+
+# --------------------------------------------------------------------------- #
+# swept: TrialResults and aggregates identical across levels
+# --------------------------------------------------------------------------- #
+class TestSweepEquivalence:
+    def test_run_trial_identical_across_levels(self):
+        trials = make_cases(
+            [
+                {"protocol": "INBAC", "n": 5, "f": 2},
+                {"protocol": "2PC", "n": 5, "f": 2,
+                 "fault": ("crash P1", FaultPlan.crash(1, at=0.0)), "max_time": 50},
+            ]
+        )
+        for trial in trials:
+            full = run_trial(trial, trace_level="full")
+            fast = run_trial(trial, trace_level="counters")
+            assert full.error is None and fast.error is None
+            assert dataclasses.asdict(fast) == dataclasses.asdict(full)
+
+    def test_aggregate_fingerprints_identical_serial(self):
+        full_level = run_sweep(
+            stochastic_grid(), workers=1, mode="aggregate", trace_level="full"
+        )
+        counters = run_sweep(
+            stochastic_grid(), workers=1, mode="aggregate", trace_level="counters"
+        )
+        in_memory = run_sweep(stochastic_grid(), workers=1)
+        assert counters.aggregate_rows() == full_level.aggregate_rows()
+        assert (
+            counters.aggregate_fingerprint()
+            == full_level.aggregate_fingerprint()
+            == in_memory.aggregate_fingerprint()
+        )
+        assert counters.robustness_rows() == full_level.robustness_rows()
+
+    def test_aggregate_fingerprints_identical_parallel(self):
+        serial = run_sweep(
+            stochastic_grid(), workers=1, mode="aggregate", trace_level="counters"
+        )
+        parallel = run_sweep(
+            stochastic_grid(), workers=3, mode="aggregate", trace_level="counters"
+        )
+        if parallel.meta["mode"] != "parallel":
+            pytest.skip("fork start method unavailable; parallel path not exercised")
+        assert parallel.aggregate_fingerprint() == serial.aggregate_fingerprint()
+
+    def test_cluster_trials_identical_across_levels(self):
+        full_level = run_sweep(
+            cluster_grid(), workers=1, mode="aggregate", trace_level="full"
+        )
+        counters = run_sweep(
+            cluster_grid(), workers=1, mode="aggregate", trace_level="counters"
+        )
+        assert counters.error_count == full_level.error_count == 0
+        assert counters.aggregate_rows() == full_level.aggregate_rows()
+        assert counters.aggregate_fingerprint() == full_level.aggregate_fingerprint()
+
+    def test_full_sweep_mode_identical_across_levels(self):
+        # mode="full" materialises TrialResults; the per-trial fingerprint
+        # (not just the aggregate one) must match across levels
+        a = run_sweep(stochastic_grid(seeds=(0,)), workers=1, trace_level="full")
+        b = run_sweep(stochastic_grid(seeds=(0,)), workers=1, trace_level="counters")
+        assert b.fingerprint() == a.fingerprint()
+
+
+# --------------------------------------------------------------------------- #
+# defaults and precedence
+# --------------------------------------------------------------------------- #
+class TestLevelSelection:
+    def tiny(self, **overrides):
+        return stochastic_grid(seeds=(0,), protocols=["2PC"], systems=[(4, 1)],
+                               delays=[None], faults=[None], **overrides)
+
+    def test_aggregate_mode_defaults_to_counters(self):
+        agg = run_sweep(self.tiny(), workers=1, mode="aggregate")
+        assert agg.meta["trace_level"] == "counters"
+
+    def test_full_mode_defaults_to_full(self):
+        sweep = run_sweep(self.tiny(), workers=1)
+        assert sweep.meta["trace_level"] == "full"
+
+    def test_collector_keeps_full_traces_in_aggregate_mode(self):
+        seen = []
+
+        def collector(trial, result):
+            seen.append(type(result.trace).__name__)
+            return {}
+
+        agg = run_sweep(self.tiny(), workers=1, mode="aggregate", collector=collector)
+        assert agg.meta["trace_level"] == "full"
+        assert seen == ["Trace"]
+
+    def test_grid_pin_beats_engine_default(self):
+        agg = run_sweep(
+            self.tiny(trace_level="full"), workers=1, mode="aggregate"
+        )
+        # the pin decides what the scheduler builds, and meta reports the
+        # level the trials actually ran at — not the engine's default
+        assert agg.error_count == 0
+        assert agg.meta["trace_level"] == "full"
+
+    def test_override_reflected_in_meta(self):
+        sweep = run_sweep(self.tiny(), workers=1, trace_level="counters")
+        assert sweep.meta["trace_level"] == "counters"
+
+    def test_run_sweep_override_beats_grid_pin(self):
+        seen = []
+
+        def collector(trial, result):
+            seen.append(type(result.trace).__name__)
+            return {}
+
+        run_sweep(
+            self.tiny(trace_level="counters"),
+            workers=1,
+            trace_level="full",
+            collector=collector,
+        )
+        assert seen == ["Trace"]
+
+    def test_grid_pin_reaches_the_scheduler(self):
+        seen = []
+
+        def collector(trial, result):
+            seen.append(type(result.trace).__name__)
+            return {}
+
+        run_sweep(self.tiny(trace_level="counters"), workers=1, collector=collector)
+        assert seen == ["CounterTrace"]
+
+    def test_collector_failure_on_counters_pin_is_captured_per_trial(self):
+        # a counters pin wins over the collector-keeps-full-traces default;
+        # a collector that then touches per-message queries fails *per trial*
+        # (TrialResult.error), never aborting the sweep
+        def needs_messages(trial, result):
+            return {"kinds": result.trace.messages_by_kind()}
+
+        agg = run_sweep(
+            self.tiny(trace_level="counters"),
+            workers=1,
+            mode="aggregate",
+            collector=needs_messages,
+        )
+        assert agg.error_count == len(agg)
+        assert "SimulationError" in agg.sample_errors[0]
+
+    def test_unknown_levels_rejected_everywhere(self):
+        with pytest.raises(ConfigurationError, match="trace_level"):
+            GridSpec(protocols=["2PC"], systems=[(4, 1)], trace_level="audit")
+        with pytest.raises(ConfigurationError, match="trace_level"):
+            run_sweep(self.tiny(), workers=1, trace_level="audit")
+        with pytest.raises(ConfigurationError, match="trace_level"):
+            make_cases([{"protocol": "2PC", "n": 4, "f": 1, "trace_level": "audit"}])
+
+    def test_trace_level_does_not_change_derived_seeds(self):
+        # the level must stay out of TrialSpec.key(): the same grid swept at
+        # either level replays the exact same per-trial seeds
+        plain = GridSpec(protocols=["2PC"], systems=[(4, 1)], seeds=[0, 1])
+        pinned = GridSpec(
+            protocols=["2PC"], systems=[(4, 1)], seeds=[0, 1], trace_level="counters"
+        )
+        assert [t.derived_seed for t in plain.trials()] == [
+            t.derived_seed for t in pinned.trials()
+        ]

@@ -299,3 +299,135 @@ class TestTraceQueries:
     def test_run_nice_execution_helper(self):
         result = run_nice_execution(EchoProcess, n=3, f=1)
         assert len(result.decisions()) == 3
+
+
+class TestDeliveredMarking:
+    """Regression tests for the O(1) msg-id → record delivery marking.
+
+    The scheduler used to find the record to mark with an O(messages)
+    reversed scan of ``trace.messages`` per delivery; it now pops the record
+    from a pending-records map.  The observable contract is unchanged:
+    exactly the messages actually handed to a live process are marked.
+    """
+
+    def test_all_messages_to_live_processes_marked_delivered(self):
+        sim = Simulation(n=4, f=1, process_class=EchoProcess)
+        trace = sim.run([1, 1, 1, 1]).trace
+        assert trace.messages  # 4 x 3 votes
+        assert all(m.delivered for m in trace.messages)
+
+    def test_messages_to_crashed_process_stay_unmarked(self):
+        plan = FaultPlan.crash(3, at=0.0)
+        sim = Simulation(n=3, f=2, process_class=EchoProcess, fault_plan=plan,
+                         stop_when_all_correct_decided=False, max_time=10)
+        trace = sim.run([1, 1, 1]).trace
+        to_crashed = [m for m in trace.messages if m.dst == 3]
+        to_live = [m for m in trace.messages if m.dst != 3 and m.src != 3]
+        assert to_crashed and all(not m.delivered for m in to_crashed)
+        assert to_live and all(m.delivered for m in to_live)
+
+    def test_in_flight_messages_stay_unmarked_when_run_stops_early(self):
+        # stopping at the last decision leaves post-decision traffic undelivered
+        sim = Simulation(n=4, f=1, process_class=EchoProcess, max_time=1.5)
+        trace = sim.run([1, 1, 1, 1]).trace
+        late = [m for m in trace.messages if m.recv_time > 1.5]
+        assert all(not m.delivered for m in late)
+
+    def test_pending_map_is_drained_on_delivery(self):
+        # delivered records are popped, so the map never grows with the run
+        scheduler = Scheduler(n=4, f=1)
+        scheduler.bind_processes(lambda pid, n, f, env: EchoProcess(pid, n, f, env))
+        for pid in range(1, 5):
+            scheduler.processes[pid].on_start()
+            scheduler.post_propose(pid, 1, at=0.0)
+        scheduler.stop_when_all_correct_decided()
+        scheduler.run()
+        assert scheduler._pending_records == {}
+
+    def test_pending_map_is_drained_for_crashed_destinations_too(self):
+        # messages to a crashed process are popped (but not marked) on their
+        # delivery event, so the map stays bounded by in-flight messages
+        scheduler = Scheduler(n=3, f=2, fault_plan=FaultPlan.crash(3, at=0.0),
+                              max_time=10)
+        scheduler.bind_processes(lambda pid, n, f, env: EchoProcess(pid, n, f, env))
+        for pid in range(1, 4):
+            scheduler.processes[pid].on_start()
+            scheduler.post_propose(pid, 1, at=0.0)
+        trace = scheduler.run()
+        assert any(m.dst == 3 for m in trace.messages)
+        assert scheduler._pending_records == {}
+        assert all(not m.delivered for m in trace.messages if m.dst == 3)
+
+
+class TestCountingStopCondition:
+    """Regression tests for the decremented all-correct-decided counter.
+
+    The all-correct-decided stop used to re-evaluate ``all(pid in
+    trace.decisions ...)`` over every correct pid on every event; it is now a
+    counter decremented by ``record_decision``.  Both must produce identical
+    traces — asserted here against the legacy predicate on a crash-storm
+    plan, where the correct set and the decision schedule interact the most.
+    """
+
+    class TimedDecider(EchoProcess):
+        """Decides at its timer with whatever votes it has seen — so the
+        all-correct-decided stop actually fires mid-storm."""
+
+        def on_timeout(self, name):
+            self.decide(sum(self.seen.values()))
+
+    def storm_plan(self, n=8, width=3):
+        return FaultPlan.crashes_at(
+            {pid: 0.5 * (pid % 3) for pid in range(n - width + 1, n + 1)}
+        )
+
+    def _prepared_scheduler(self, n, f, plan):
+        scheduler = Scheduler(n=n, f=f, fault_plan=plan, max_time=400)
+        scheduler.bind_processes(
+            lambda pid, n_, f_, env: self.TimedDecider(pid, n_, f_, env)
+        )
+        for pid in range(1, n + 1):
+            scheduler.processes[pid].on_start()
+            scheduler.post_propose(pid, 1, at=0.0)
+        return scheduler
+
+    def run_with_legacy_predicate(self, n, f, plan):
+        scheduler = self._prepared_scheduler(n, f, plan)
+        correct = [pid for pid in range(1, n + 1) if pid not in plan.crashes]
+        scheduler.set_stop_predicate(
+            lambda s: all(pid in s.trace.decisions for pid in correct)
+        )
+        return scheduler.run()
+
+    def run_with_counter(self, n, f, plan):
+        scheduler = self._prepared_scheduler(n, f, plan)
+        scheduler.stop_when_all_correct_decided()
+        return scheduler.run()
+
+    def test_identical_trace_on_crash_storm(self):
+        n, f = 8, 3
+        legacy = self.run_with_legacy_predicate(n, f, self.storm_plan(n, 3))
+        counter = self.run_with_counter(n, f, self.storm_plan(n, 3))
+        assert legacy.decisions  # the stop condition really fired
+        assert counter.end_time == legacy.end_time
+        assert counter.decisions.keys() == legacy.decisions.keys()
+        assert {p: r.time for p, r in counter.decisions.items()} == {
+            p: r.time for p, r in legacy.decisions.items()
+        }
+        assert counter.message_count() == legacy.message_count()
+        assert counter.crashes == legacy.crashes
+
+    def test_identical_trace_failure_free(self):
+        legacy = self.run_with_legacy_predicate(5, 2, FaultPlan.failure_free())
+        counter = self.run_with_counter(5, 2, FaultPlan.failure_free())
+        assert counter.end_time == legacy.end_time
+        assert counter.message_count() == legacy.message_count()
+
+    def test_counter_reaches_zero_exactly_when_all_correct_decided(self):
+        plan = self.storm_plan(8, 3)
+        scheduler = self._prepared_scheduler(8, 3, plan)
+        scheduler.stop_when_all_correct_decided()
+        assert scheduler._undecided_correct == 8 - len(plan.crashes)
+        trace = scheduler.run()
+        assert scheduler._undecided_correct == 0
+        assert set(trace.decisions) >= set(trace.correct_pids())
