@@ -1,0 +1,107 @@
+"""E11 — adversarial schedule exploration across the whole protocol registry.
+
+The paper quantifies Definition 1 over *all* admissible executions; this
+battery turns that quantifier into a check.  Every registered protocol runs a
+budget of explored schedules — seeded random walks over message deferrals and
+crash injections, fanned out through the sweep engine's ``schedules`` axis —
+and is judged against its own problem cell: a violation is a required
+property failing for the execution class the schedule actually produced.
+
+Expected outcome (and the assertions below): every protocol with a claimed
+cell survives its battery with zero violations, while 2PC — the one blocking
+protocol, with no cell — loses termination as soon as the walk crashes the
+coordinator at the right phase boundary, and the violating schedule shrinks
+to a counterexample of at most five decisions.
+"""
+
+from __future__ import annotations
+
+from _helpers import attach_rows
+from repro.analysis import render_table
+from repro.explore import explore
+from repro.exp import GridSpec, run_sweep
+from repro.protocols.registry import all_protocols
+
+N, F = 5, 2
+BUDGET = 60
+
+
+def run_batteries():
+    rows = []
+    reports = {}
+    for name, info in sorted(all_protocols().items()):
+        report = explore(
+            name, n=N, f=F, budget=BUDGET, strategy="random-walk", seed=5,
+            cell=info.cell, max_counterexamples=2,
+        )
+        reports[name] = report
+        row = report.summary_row()
+        row["cell"] = str(info.cell) if info.cell is not None else "-"
+        rows.append(row)
+    return rows, reports
+
+
+def test_exploration_batteries(benchmark):
+    rows, reports = benchmark.pedantic(run_batteries, rounds=1, iterations=1)
+    by_protocol = {r["protocol"]: r for r in rows}
+
+    # every protocol with a claimed cell delivers it on every explored
+    # schedule — the paper's quantifier, checked rather than assumed
+    for name, info in all_protocols().items():
+        assert not reports[name].errors, (name, reports[name].errors[:1])
+        if info.cell is not None:
+            assert by_protocol[name]["violations"] == 0, by_protocol[name]
+
+    # 2PC blocks: the walk finds the coordinator crash and shrinks it small
+    assert by_protocol["2PC"]["violations"] > 0
+    assert by_protocol["2PC"]["violated"] == "termination"
+    assert by_protocol["2PC"]["min_counterexample"] <= 5
+
+    attach_rows(benchmark, "exploration_batteries", rows)
+    print()
+    print(render_table(
+        rows,
+        title=f"E11 — schedule-exploration batteries "
+              f"(n={N}, f={F}, {BUDGET} schedules each)",
+    ))
+
+
+def sweep_exploration_axis():
+    """Violation counts folded in aggregate mode over the schedules axis."""
+    agg = run_sweep(
+        GridSpec(
+            protocols=["2PC", "INBAC", "PaxosCommit"],
+            systems=[(N, F)],
+            schedules=[
+                ("timestamp-order", "timestamp-order", {}),
+                ("random-walk", "random-walk", {"crash_prob": 0.08}),
+                ("delay-reorder", "delay-reorder", {"k": 3}),
+            ],
+            seeds=range(40),
+        ),
+        mode="aggregate",
+    )
+    assert agg.error_count == 0, agg.sample_errors
+    return agg.aggregate_rows()
+
+
+def test_exploration_axis_aggregates(benchmark):
+    rows = benchmark.pedantic(sweep_exploration_axis, rounds=1, iterations=1)
+    by_cell = {(r["protocol"], r["schedule"]): r for r in rows}
+
+    # the identity strategy reproduces nominal behaviour for everyone
+    for protocol in ("2PC", "INBAC", "PaxosCommit"):
+        assert by_cell[(protocol, "timestamp-order")]["violations"] == 0
+
+    # the indulgent protocols absorb every explored schedule
+    for schedule in ("random-walk", "delay-reorder"):
+        assert by_cell[("INBAC", schedule)]["violations"] == 0
+        assert by_cell[("PaxosCommit", schedule)]["violations"] == 0
+
+    # 2PC only breaks when crashes are on the menu
+    assert by_cell[("2PC", "random-walk")]["violations"] > 0
+    assert by_cell[("2PC", "delay-reorder")]["violations"] == 0
+
+    attach_rows(benchmark, "exploration_axis", rows)
+    print()
+    print(render_table(rows, title="E11 — exploration axis, aggregate-mode folding"))

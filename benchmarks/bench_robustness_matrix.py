@@ -6,9 +6,12 @@ failure-free, crash-failure and network-failure executions and recording which
 of agreement / validity / termination survive each class.
 
 The battery is one :class:`repro.exp.GridSpec` — every protocol in the
-registry x eight fault plans x two vote vectors — fanned out over worker
+registry x eight fault plans x three vote patterns — fanned out over worker
 processes by :func:`repro.exp.run_sweep`; trials are grouped back into
-execution classes by the class each fault plan actually induces.
+execution classes by the class each fault plan actually induces.  The vote
+axis uses registry-named patterns (no hand-enumerated vectors): the
+``one-no:3`` pattern scales with ``n``, and ``mixed:0.3`` draws a fresh
+weighted vote vector per trial from the trial's derived seed.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ FAULT_AXIS = [
                   after_time=0.5, src=2)])),
 ]
 
-VOTE_AXIS = ["all-yes", ("one-no", [1, 1, 0, 1, 1])]
+VOTE_AXIS = ["all-yes", "one-no:3", "mixed:0.3"]
 
 
 def build_matrix():

@@ -17,16 +17,20 @@
 #   6. all examples;
 #   7. a small sweep-throughput perf smoke: the fast-path core must emit its
 #      JSON baseline and every core configuration (legacy emulation, trace
-#      levels, fold paths) must produce identical aggregate fingerprints.
+#      levels, fold paths) must produce identical aggregate fingerprints;
+#   8. a schedule-exploration smoke: a small adversarial budget over INBAC
+#      (zero violations within the resilience bound) and 2PC (the known
+#      coordinator-crash termination violation, shrunk to <= 5 decisions),
+#      plus a replay-determinism check of one stored ScheduleTrace.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "==> [1/7] tier-1 tests (pytest from the repo root)"
+echo "==> [1/8] tier-1 tests (pytest from the repo root)"
 python -m pytest -x -q
 
-echo "==> [2/7] benchmark collection (must be > 0 tests)"
+echo "==> [2/8] benchmark collection (must be > 0 tests)"
 collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
 if [ "${collected}" -eq 0 ]; then
     echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
@@ -34,7 +38,7 @@ if [ "${collected}" -eq 0 ]; then
 fi
 echo "    collected ${collected} benchmark tests"
 
-echo "==> [3/7] every benchmark is ported onto repro.exp"
+echo "==> [3/8] every benchmark is ported onto repro.exp"
 for bench in benchmarks/bench_*.py; do
     if ! grep -q "from repro\.exp import" "${bench}"; then
         echo "ERROR: ${bench} does not import repro.exp (hand-rolled sweep loop?)" >&2
@@ -43,7 +47,7 @@ for bench in benchmarks/bench_*.py; do
 done
 echo "    all $(ls benchmarks/bench_*.py | wc -l | tr -d ' ') benchmarks import repro.exp"
 
-echo "==> [4/7] aggregate-mode sweep reproduces the in-memory aggregates"
+echo "==> [4/8] aggregate-mode sweep reproduces the in-memory aggregates"
 python - <<'EOF'
 from repro.exp import GridSpec, run_sweep
 from repro.sim.network import UniformDelay
@@ -71,16 +75,16 @@ print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok "
       f"(both trace levels x both folds)")
 EOF
 
-echo "==> [5/7] one fast benchmark"
+echo "==> [5/8] one fast benchmark"
 python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
 
-echo "==> [6/7] examples"
+echo "==> [6/8] examples"
 for example in examples/*.py; do
     echo "--- ${example}"
     python "${example}" > /dev/null
 done
 
-echo "==> [7/7] sweep-throughput perf smoke (fast-path core baseline)"
+echo "==> [7/8] sweep-throughput perf smoke (fast-path core baseline)"
 bench_out=$(mktemp)
 python benchmarks/bench_sweep_throughput.py --quick --out "${bench_out}" > /dev/null
 python - "${bench_out}" <<'EOF'
@@ -101,5 +105,39 @@ print(f"    baseline emitted with {len(baseline['configs'])} configs, "
       f"fingerprints identical across core variants")
 EOF
 rm -f "${bench_out}"
+
+echo "==> [8/8] schedule-exploration smoke (adversarial search + replay)"
+python - <<'EOF'
+from repro.explore import ScheduleTrace, explore, replay_trial
+from repro.exp.spec import GridSpec
+
+# INBAC is indulgent: no admissible schedule within the resilience bound
+# may break any of agreement / validity / termination
+inbac = explore("INBAC", n=5, f=2, budget=40, strategy="random-walk", seed=7)
+assert not inbac.errors, inbac.errors[:1]
+assert inbac.violation_count == 0, [v.describe() for v in inbac.violations]
+
+# 2PC blocks: the walk must find the coordinator-crash termination
+# violation and shrink it to a tiny counterexample
+twopc = explore("2PC", n=5, f=2, budget=40, strategy="random-walk", seed=7)
+assert not twopc.errors, twopc.errors[:1]
+violations = twopc.violations_of("termination")
+assert violations, "2PC termination violation not found within the budget"
+shrunk = violations[0].shrunk
+assert shrunk is not None and len(shrunk) <= 5, shrunk
+
+# replay determinism: the stored ScheduleTrace survives serialisation and
+# reproduces the identical trace fingerprint
+grid = GridSpec(protocols=["2PC"], systems=[(5, 2)],
+                schedules=[("random-walk", "random-walk", {})],
+                seeds=[violations[0].base_seed], trace_level="full")
+stored = ScheduleTrace.from_json(shrunk.to_json())
+replays = [replay_trial(grid.trials()[0], stored) for _ in range(2)]
+fingerprints = {r.extra["trace_fingerprint"] for r in replays}
+assert fingerprints == {violations[0].shrunk_fingerprint}, fingerprints
+print(f"    INBAC: 0 violations in {inbac.schedules_run} schedules; "
+      f"2PC: {twopc.violation_count} violations, counterexample of "
+      f"{len(shrunk)} decision(s) replays deterministically")
+EOF
 
 echo "smoke: OK"

@@ -5,10 +5,19 @@ against 2PC/3PC/Paxos-Commit across system sizes, resilience levels and delay
 regimes.  This package turns those cross-product comparisons into one-liners:
 
 * :mod:`repro.exp.spec` — :class:`GridSpec` declares *what* to run
-  (protocol x (n, f) x delay model x fault plan x votes x workload x seed)
-  and expands it into deterministic :class:`TrialSpec` records; a trial with
-  a :class:`WorkloadSpec` runs a :mod:`repro.db` cluster transaction battery
-  instead of a bare protocol execution;
+  (protocol x (n, f) x delay model x fault plan x votes x workload x
+  schedule x seed) and expands it into deterministic :class:`TrialSpec`
+  records; a trial with a :class:`WorkloadSpec` runs a :mod:`repro.db`
+  cluster transaction battery instead of a bare protocol execution, and a
+  trial with a :class:`ScheduleSpec` runs under a :mod:`repro.explore`
+  schedule controller (adversarial event orderings and crash points) built
+  from the trial's derived seed;
+* :mod:`repro.exp.registry` — the spawn-safe spec subset: registry-named
+  delay models (``delays=["uniform"]``), reducers
+  (``reducer="violations"``) and vote patterns (``"mixed:0.3"``,
+  ``"one-no:3"``), all plain data, so lambda-free grids pickle under any
+  multiprocessing start method (``run_sweep(start_method="spawn")``
+  validates up front and names the offending field otherwise);
 * :mod:`repro.exp.engine` — :func:`run_sweep` fans the trials out across
   worker processes (serial fallback included) with per-trial derived seeding,
   so parallel and serial sweeps produce byte-identical aggregates;
@@ -56,13 +65,20 @@ Example
 >>> big.aggregate_rows() == sweep.aggregate_rows()[:1]  # doctest: +SKIP
 """
 
-from repro.exp.engine import run_sweep, run_trial, run_trials
+from repro.exp.engine import ensure_spawn_safe, run_sweep, run_trial, run_trials
+from repro.exp.registry import (
+    make_reducer,
+    named_delay,
+    register_delay_model,
+    register_reducer,
+)
 from repro.exp.results import SweepAggregate, SweepResult, TrialResult
 from repro.exp.spec import (
     DelaySpec,
     FaultSpec,
     GridSpec,
     ProtocolSpec,
+    ScheduleSpec,
     TrialSpec,
     VoteSpec,
     WorkloadSpec,
@@ -70,6 +86,7 @@ from repro.exp.spec import (
     all_yes,
     fixed_votes,
     make_cases,
+    mixed_votes,
     one_no,
 )
 
@@ -78,6 +95,7 @@ __all__ = [
     "FaultSpec",
     "GridSpec",
     "ProtocolSpec",
+    "ScheduleSpec",
     "SweepAggregate",
     "SweepResult",
     "TrialResult",
@@ -86,9 +104,15 @@ __all__ = [
     "WorkloadSpec",
     "all_no",
     "all_yes",
+    "ensure_spawn_safe",
     "fixed_votes",
     "make_cases",
+    "make_reducer",
+    "mixed_votes",
+    "named_delay",
     "one_no",
+    "register_delay_model",
+    "register_reducer",
     "run_sweep",
     "run_trial",
     "run_trials",

@@ -12,15 +12,21 @@ Design constraints, in order:
 2. **Arbitrary specs, including closures.**  Fault plans and delay models in
    this repo routinely carry lambdas (payload predicates, adversarial delay
    functions) that cannot cross a pickling process boundary.  The pool
-   therefore uses the ``fork`` start method and ships the trial list to the
-   workers *by inheritance*: the parent parks it in a module-level slot that
-   the forked children share, and only integer trial indices and plain-data
-   :class:`~repro.exp.results.TrialResult` records travel over the queues.
+   therefore prefers the ``fork`` start method and ships the trial list to
+   the workers *by inheritance*: the parent parks it in a module-level slot
+   that the forked children share, and only integer trial indices and
+   plain-data :class:`~repro.exp.results.TrialResult` records travel over
+   the queues.  A *spawn-safe* spec — lambda-free, e.g. built from the
+   registry names in :mod:`repro.exp.registry` — may instead run under the
+   ``spawn`` start method (``start_method="spawn"``, or automatically where
+   fork does not exist); :func:`ensure_spawn_safe` validates the spec up
+   front and names the offending grid field rather than letting the pool
+   fail with an anonymous ``PicklingError``.
 
-3. **Serial fallback.**  Where ``fork`` is unavailable (non-POSIX platforms)
-   or the sweep is too small to amortise worker start-up, the engine runs the
-   same trial loop in-process.  ``SweepResult.meta["mode"]`` records which
-   path ran.
+3. **Serial fallback.**  Where no usable start method remains (no ``fork``
+   and a spec that is not spawn-safe) or the sweep is too small to amortise
+   worker start-up, the engine runs the same trial loop in-process.
+   ``SweepResult.meta["mode"]`` records which path ran.
 
 4. **Bounded-memory aggregation.**  ``mode="aggregate"`` (or a custom
    ``reducer=``) streams results instead of collecting them: each
@@ -77,6 +83,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
@@ -142,7 +149,9 @@ def _cell_runtime(trial: TrialSpec, trace_level: str) -> _CellRuntime:
             protocol_kwargs=trial.protocol.protocol_kwargs(),
             trace_level=trace_level,
         ),
-        votes=trial.votes.pattern(trial.n),
+        # per-trial (seeded) vote patterns cannot be resolved at the cell
+        # level; run_trial resolves them from the derived seed instead
+        votes=None if trial.votes.per_trial else trial.votes.resolve(trial.n, 0),
     )
     _LAST_RUNTIME = (signature, runtime)
     return runtime
@@ -176,16 +185,24 @@ def run_trial(
         base_seed=trial.base_seed,
         derived_seed=seed,
         workload_label=trial.workload_label,
+        schedule_label=trial.schedule_label,
     )
     if trial.workload is not None:
         return _run_cluster_trial(trial, base, collector, level)
     try:
         runtime = _cell_runtime(trial, level)
+        votes = (
+            runtime.votes
+            if runtime.votes is not None
+            else trial.votes.resolve(trial.n, seed)
+        )
+        controller = trial.schedule.build(seed) if trial.schedule is not None else None
         result = runtime.simulation.run(
-            runtime.votes,
+            votes,
             delay_model=trial.delay.factory(seed),
             fault_plan=trial.fault.factory(),
             seed=seed,
+            controller=controller,
         )
     except Exception:
         base.error = traceback.format_exc(limit=8)
@@ -211,12 +228,24 @@ def run_trial(
     base.validity = report.validity.holds
     base.termination = report.termination.holds
     base.crashes = dict(trace.crashes)
+    if controller is not None:
+        # the replayable schedule plus the fingerprint replay is checked
+        # against — all plain data, so it crosses the worker queue intact
+        from repro.explore.schedule import ScheduleTrace
+
+        base.extra["schedule_trace"] = ScheduleTrace(
+            strategy=trial.schedule.strategy,
+            seed=seed,
+            params=trial.schedule.strategy_params(),
+            decisions=trace.metadata.get("schedule_decisions", []),
+        ).to_jsonable()
+        base.extra["trace_fingerprint"] = trace.fingerprint()
     if collector is not None:
         # collector failures (e.g. a per-message trace query against a trial
         # pinned to the counters level) are captured like simulation
         # failures, not allowed to abort the whole sweep
         try:
-            base.extra = dict(collector(trial, result) or {})
+            base.extra = {**base.extra, **dict(collector(trial, result) or {})}
         except Exception:
             base.error = traceback.format_exc(limit=8)
     return base
@@ -242,6 +271,10 @@ def _run_cluster_trial(
     from repro.db.cluster import ClusterConfig, run_cluster
 
     try:
+        if trial.schedule is not None:
+            raise ConfigurationError(
+                "cluster (workload) trials do not take a schedule controller"
+            )
         seed = trial.derived_seed
         delay_model = trial.delay.factory(seed)
         fault_plan = trial.fault.factory()
@@ -379,6 +412,101 @@ def _fork_available() -> bool:
         return False
 
 
+def _spawn_available() -> bool:
+    try:
+        return "spawn" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+#: the start methods run_trials/run_sweep accept
+_START_METHODS = (None, "fork", "spawn")
+
+
+def ensure_spawn_safe(
+    trials: Sequence[TrialSpec], collector: Optional[Collector] = None
+) -> None:
+    """Verify every spec component can cross a ``spawn`` process boundary.
+
+    The fork pool ships closures by memory inheritance, so grids may carry
+    lambdas; the spawn pool pickles everything.  This check pickles each
+    distinct axis-spec object individually and raises a
+    :class:`~repro.errors.ConfigurationError` naming the offending grid field
+    and label — instead of letting ``multiprocessing`` fail deep inside the
+    pool with an anonymous ``PicklingError``.  Registry-named delay models,
+    vote patterns, schedules and reducers (see :mod:`repro.exp.registry`)
+    are spawn-safe by construction.
+    """
+    seen: set = set()
+
+    def _check(field: str, label: str, obj: Any) -> None:
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        try:
+            pickle.dumps(obj)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"GridSpec field {field}[{label!r}] is not picklable and cannot "
+                f"cross a 'spawn' process boundary ({type(exc).__name__}: {exc}); "
+                f"use a registry-named value (see repro.exp.registry) or a "
+                f"module-level callable, or run with the fork start method"
+            ) from None
+
+    for trial in trials:
+        _check("protocols", trial.protocol.label, trial.protocol)
+        _check("delays", trial.delay.label, trial.delay)
+        _check("faults", trial.fault.label, trial.fault)
+        _check("votes", trial.votes.label, trial.votes)
+        if trial.workload is not None:
+            _check("workloads", trial.workload.label, trial.workload)
+        if trial.schedule is not None:
+            _check("schedules", trial.schedule.label, trial.schedule)
+    if collector is not None:
+        _check("collector", getattr(collector, "__name__", "collector"), collector)
+
+
+def _resolve_start_method(
+    start_method: Optional[str],
+    trials: Sequence[TrialSpec],
+    collector: Optional[Collector],
+) -> Optional[str]:
+    """Pick the pool start method; ``None`` means "no pool available".
+
+    Explicitly requested methods are validated loudly (a spawn request over a
+    lambda-carrying grid raises, naming the offending field).  The default
+    keeps the historical behaviour — fork where available — and otherwise
+    falls back to spawn only when the spec is verifiably spawn-safe, so
+    platforms without fork degrade to the serial path rather than crash.
+    """
+    if start_method not in _START_METHODS:
+        raise ConfigurationError(
+            f"unknown start_method {start_method!r}; expected one of {_START_METHODS}"
+        )
+    if start_method == "fork":
+        if not _fork_available():
+            raise ConfigurationError(
+                "the 'fork' start method is not available on this platform"
+            )
+        return "fork"
+    if start_method == "spawn":
+        if not _spawn_available():  # pragma: no cover - spawn exists everywhere
+            raise ConfigurationError(
+                "the 'spawn' start method is not available on this platform"
+            )
+        ensure_spawn_safe(trials, collector)
+        return "spawn"
+    if _fork_available():
+        return "fork"
+    if _spawn_available():
+        try:
+            ensure_spawn_safe(trials, collector)
+        except ConfigurationError:
+            return None  # not spawn-safe: silently keep the serial fallback
+        return "spawn"
+    return None  # pragma: no cover - platforms with neither method
+
+
 #: cap on the pool chunk size in streaming mode, so a worker never buffers an
 #: unbounded slice of results (or folds an unbounded chunk) before shipping
 #: back to the parent
@@ -399,6 +527,7 @@ def run_trials(
     reducer: Optional[Any] = None,
     trace_level: Optional[str] = None,
     fold: str = "auto",
+    start_method: Optional[str] = None,
 ) -> Union[SweepResult, Any]:
     """Run an explicit trial list (see :func:`repro.exp.spec.make_cases`)."""
     if mode not in _MODES:
@@ -414,6 +543,11 @@ def run_trials(
             f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
         )
     trials = list(trials)
+    if isinstance(reducer, str):
+        # registry-named sinks are spawn-safe and keep grids lambda-free
+        from repro.exp.registry import make_reducer
+
+        reducer = make_reducer(reducer)
     streaming = mode == "aggregate" or reducer is not None
     if fold == "chunk" and reducer is not None:
         raise ConfigurationError(
@@ -432,8 +566,9 @@ def run_trials(
     default_level = "counters" if (streaming and collector is None) else "full"
     levels = (trace_level, default_level)
     n_workers = _resolve_workers(workers, len(trials))
+    method = _resolve_start_method(start_method, trials, collector)
     use_pool = (
-        n_workers > 1 and len(trials) >= _MIN_TRIALS_FOR_POOL and _fork_available()
+        n_workers > 1 and len(trials) >= _MIN_TRIALS_FOR_POOL and method is not None
     )
     exec_mode = "parallel" if use_pool else "serial"
     # the level(s) the trials actually run at: the sweep override wins, then
@@ -453,10 +588,12 @@ def run_trials(
         "sweep_mode": "aggregate" if streaming else "full",
         "trace_level": level_label,
     }
+    if use_pool:
+        meta["start_method"] = method
 
     if not streaming:
         if use_pool:
-            ctx = multiprocessing.get_context("fork")
+            ctx = multiprocessing.get_context(method)
             with ctx.Pool(
                 processes=n_workers,
                 initializer=_pool_init,
@@ -479,7 +616,7 @@ def run_trials(
     sink = reducer if reducer is not None else SweepAggregate()
     chunked = fold != "trial" and reducer is None
     if use_pool:
-        ctx = multiprocessing.get_context("fork")
+        ctx = multiprocessing.get_context(method)
         chunk = max(1, min(_MAX_STREAM_CHUNK, len(trials) // (n_workers * 4)))
         with ctx.Pool(
             processes=n_workers,
@@ -514,6 +651,7 @@ def run_sweep(
     reducer: Optional[Any] = None,
     trace_level: Optional[str] = None,
     fold: str = "auto",
+    start_method: Optional[str] = None,
 ) -> Union[SweepResult, Any]:
     """Expand a grid and run every trial, fanning out across workers.
 
@@ -568,6 +706,16 @@ def run_sweep(
         result IPC to cut, so it always folds per trial and records the
         executed path in ``meta["fold"]``.  Fingerprints are byte-identical
         across fold strategies and worker counts.
+    start_method:
+        Pool start method.  ``None`` (default) keeps the historical
+        behaviour: ``fork`` where available, otherwise ``spawn`` when the
+        spec is verifiably lambda-free (see :func:`ensure_spawn_safe`),
+        otherwise the serial path.  An explicit ``"spawn"`` validates the
+        spec up front and raises a :class:`~repro.errors.ConfigurationError`
+        naming the offending grid field if anything cannot be pickled;
+        registry-named delay models, vote patterns, schedules and reducers
+        (:mod:`repro.exp.registry`) are spawn-safe by construction.
+        Results are byte-identical across start methods.
     """
     trials = grid.trials() if isinstance(grid, GridSpec) else list(grid)
     return run_trials(
@@ -578,4 +726,5 @@ def run_sweep(
         reducer=reducer,
         trace_level=trace_level,
         fold=fold,
+        start_method=start_method,
     )

@@ -1,0 +1,185 @@
+"""Registry-named delay models, reducers and vote patterns.
+
+The sweep engine's default ``fork`` pool ships closures to workers by memory
+inheritance, so grids may freely carry lambdas.  The ``spawn`` start method
+(the only one available on Windows, and the macOS default) pickles everything
+instead — and a lambda, or a factory closed over one, cannot cross that
+boundary.  This module provides the *spawn-safe spec subset*: named factories
+whose state is plain data, registered under short strings, so a grid built
+from registry names pickles by construction.
+
+* :func:`named_delay` / ``delays=["uniform", ...]`` — delay-model factories
+  (``fixed``, ``uniform``, ``lognormal`` built in, extensible via
+  :func:`register_delay_model`);
+* :func:`make_reducer` / ``run_sweep(reducer="violations")`` — streaming
+  sinks by name (``aggregate``, ``robustness``, ``violations``);
+* schedule strategies are registry-named at the source (see
+  :mod:`repro.explore.strategies`), so every
+  :class:`~repro.exp.spec.ScheduleSpec` is spawn-safe already.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.sim.network import DelayModel, FixedDelay, LognormalDelay, UniformDelay
+
+# --------------------------------------------------------------------------- #
+# delay models
+# --------------------------------------------------------------------------- #
+
+#: name -> builder(seed, **params) -> DelayModel
+_DELAY_BUILDERS: Dict[str, Callable[..., DelayModel]] = {}
+
+
+def register_delay_model(name: str, builder: Callable[..., DelayModel]) -> None:
+    """Register a delay-model builder callable under ``name``.
+
+    The builder receives the trial seed as its first argument plus the
+    keyword parameters given to :func:`named_delay`; it must be a module-level
+    callable for the registration to be spawn-safe.
+    """
+    _DELAY_BUILDERS[name] = builder
+
+
+def delay_model_names() -> List[str]:
+    return list(_DELAY_BUILDERS)
+
+
+def _build_fixed(seed: int, u: float = 1.0) -> DelayModel:
+    return FixedDelay(u)
+
+
+def _build_uniform(
+    seed: int, lo: float = 0.3, hi: float = 1.0, u: float = None
+) -> DelayModel:
+    return UniformDelay(lo, hi, u=u, seed=seed)
+
+
+def _build_lognormal(
+    seed: int, median: float = 0.3, sigma: float = 0.6, u: float = 1.0
+) -> DelayModel:
+    return LognormalDelay(median=median, sigma=sigma, u=u, seed=seed)
+
+
+register_delay_model("fixed", _build_fixed)
+register_delay_model("uniform", _build_uniform)
+register_delay_model("lognormal", _build_lognormal)
+
+
+class NamedDelayFactory:
+    """A picklable ``factory(seed) -> DelayModel`` resolved through the registry.
+
+    Instances carry only the registry name and plain-data parameters, so a
+    :class:`~repro.exp.spec.DelaySpec` built from one crosses a ``spawn``
+    process boundary; the worker re-resolves the name against its own copy of
+    the registry at build time.  For that to work, custom registrations must
+    happen at *import time* (module level) — a name registered only in the
+    parent's ``__main__`` block does not exist in a spawn worker, and the
+    per-trial build below raises a named ``ConfigurationError`` (captured in
+    ``TrialResult.error``) rather than an anonymous ``KeyError``.
+    """
+
+    __slots__ = ("name", "params")
+
+    def __init__(self, name: str, params: Dict[str, Any]):
+        if name not in _DELAY_BUILDERS:
+            known = ", ".join(sorted(_DELAY_BUILDERS))
+            raise ConfigurationError(
+                f"unknown delay model {name!r}; known: {known}"
+            )
+        self.name = name
+        self.params = dict(params)
+
+    def __call__(self, seed: int) -> DelayModel:
+        try:
+            builder = _DELAY_BUILDERS[self.name]
+        except KeyError:
+            known = ", ".join(sorted(_DELAY_BUILDERS))
+            raise ConfigurationError(
+                f"delay model {self.name!r} is not registered in this process "
+                f"(known: {known}); under the spawn start method, "
+                f"register_delay_model must run at import time so workers "
+                f"re-register it"
+            ) from None
+        return builder(seed, **self.params)
+
+    def __getstate__(self):
+        return (self.name, self.params)
+
+    def __setstate__(self, state):
+        self.name, self.params = state
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, NamedDelayFactory)
+            and other.name == self.name
+            and other.params == self.params
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(sorted(self.params.items()))))
+
+
+def named_delay(name: str, label: str = None, **params: Any):
+    """A spawn-safe :class:`~repro.exp.spec.DelaySpec` from a registry name."""
+    from repro.exp.spec import DelaySpec
+
+    if label is None:
+        label = name if not params else "{}({})".format(
+            name, ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+        )
+    return DelaySpec(label=label, factory=NamedDelayFactory(name, params))
+
+
+# --------------------------------------------------------------------------- #
+# reducers
+# --------------------------------------------------------------------------- #
+
+#: name -> zero-argument reducer factory
+_REDUCER_BUILDERS: Dict[str, Callable[[], Any]] = {}
+
+
+def register_reducer(name: str, builder: Callable[[], Any]) -> None:
+    """Register a streaming-sink factory under ``name``."""
+    _REDUCER_BUILDERS[name] = builder
+
+
+def reducer_names() -> List[str]:
+    return list(_REDUCER_BUILDERS)
+
+
+def make_reducer(name: str) -> Any:
+    """Instantiate a registered reducer (``run_sweep(reducer="...")``)."""
+    try:
+        builder = _REDUCER_BUILDERS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REDUCER_BUILDERS))
+        raise ConfigurationError(
+            f"unknown reducer {name!r}; known: {known}"
+        ) from exc
+    return builder()
+
+
+def _build_aggregate():
+    from repro.exp.results import SweepAggregate
+
+    return SweepAggregate()
+
+
+def _build_robustness():
+    from repro.exp.results import RobustnessFold
+
+    return RobustnessFold()
+
+
+def _build_violations():
+    from repro.explore.fold import ViolationFold
+
+    return ViolationFold()
+
+
+register_reducer("aggregate", _build_aggregate)
+register_reducer("robustness", _build_robustness)
+register_reducer("violations", _build_violations)

@@ -31,7 +31,9 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-GroupKey = Tuple[str, int, int, str, str, str, str]
+#: grid-cell coordinates; trials explored under a schedule strategy carry an
+#: eighth element (the schedule label) so strategies aggregate separately
+GroupKey = Tuple[str, ...]
 
 #: property label + the TrialResult attribute that records whether it held
 _PROPERTIES = (("A", "agreement"), ("V", "validity"), ("T", "termination"))
@@ -66,6 +68,7 @@ class TrialResult:
     base_seed: int
     derived_seed: int
     workload_label: str = "-"
+    schedule_label: str = "-"
     execution_class: str = "failure-free"
     decisions: Dict[int, Any] = field(default_factory=dict)
     decision_latencies: List[float] = field(default_factory=list)
@@ -83,7 +86,7 @@ class TrialResult:
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def key(self) -> GroupKey:
-        return (
+        base = (
             self.protocol,
             self.n,
             self.f,
@@ -92,6 +95,12 @@ class TrialResult:
             self.votes_label,
             self.workload_label,
         )
+        # the schedule coordinate exists only for explored trials, so grids
+        # without a schedules axis keep their pre-existing keys (and
+        # therefore their aggregate fingerprints) byte for byte
+        if self.schedule_label != "-":
+            return base + (self.schedule_label,)
+        return base
 
     @property
     def decided(self) -> int:
@@ -110,7 +119,7 @@ class TrialResult:
 
     def as_row(self) -> Dict[str, Any]:
         """One flat dict per trial (render_table- and JSON-friendly)."""
-        return {
+        row = {
             "protocol": self.protocol,
             "n": self.n,
             "f": self.f,
@@ -129,6 +138,9 @@ class TrialResult:
             "messages_sent": self.messages_total,
             "properties": self.held_label(),
         }
+        if self.schedule_label != "-":
+            row["schedule"] = self.schedule_label
+        return row
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> Optional[float]:
@@ -258,8 +270,8 @@ class CellAccumulator:
         return "".join(label for label, attr in _PROPERTIES if self.all_held[attr])
 
     def row(self) -> Dict[str, Any]:
-        protocol, n, f, delay, fault, votes, workload = self.key
-        return {
+        protocol, n, f, delay, fault, votes, workload = self.key[:7]
+        row = {
             "protocol": protocol,
             "n": n,
             "f": f,
@@ -285,6 +297,12 @@ class CellAccumulator:
             "mean_messages_sent": _round_opt(self.sum_messages_sent / self.count),
             "properties": self.held_label(),
         }
+        if len(self.key) > 7:
+            # schedule-explored cells: name the strategy and count violations
+            # (trials where at least one of A/V/T failed to hold)
+            row["schedule"] = self.key[7]
+            row["violations"] = self.count - self.solved
+        return row
 
 
 @dataclass
@@ -342,7 +360,7 @@ class SweepResult:
         :class:`CellAccumulator` the streaming ``mode="aggregate"`` path uses,
         which is what makes the two modes byte-identical.
         """
-        rows: List[Dict[str, Any]] = []
+        accumulators: List[CellAccumulator] = []
         for key, trials in sorted(self.groups().items(), key=lambda kv: kv[1][0].index):
             acc = CellAccumulator(
                 key=key,
@@ -351,8 +369,8 @@ class SweepResult:
             )
             for trial in trials:
                 acc.fold(trial)
-            rows.append(acc.row())
-        return rows
+            accumulators.append(acc)
+        return _cell_rows(accumulators)
 
     def robustness_rows(self) -> List[Dict[str, Any]]:
         """Per protocol, which properties held in *every* trial of each class.
@@ -516,7 +534,7 @@ class SweepAggregate:
     def aggregate_rows(self) -> List[Dict[str, Any]]:
         """Identical rows (and row order) to ``SweepResult.aggregate_rows``."""
         cells = sorted(self._cells.values(), key=lambda cell: cell.first_index)
-        return [cell.row() for cell in cells]
+        return _cell_rows(cells)
 
     def robustness_rows(self) -> List[Dict[str, Any]]:
         return self._robustness.rows()
@@ -524,6 +542,24 @@ class SweepAggregate:
     def aggregate_fingerprint(self) -> str:
         """Digest of the aggregate rows (comparable across execution modes)."""
         return _rows_fingerprint(self.aggregate_rows())
+
+
+def _cell_rows(cells: List[CellAccumulator]) -> List[Dict[str, Any]]:
+    """Render cell accumulators to rows, harmonising the schedule columns.
+
+    A grid mixing unexplored cells (``schedules=[None, ...]``) with explored
+    ones would otherwise produce heterogeneous rows, and column-driven
+    renderers (``render_table`` keys off the first row) would drop the
+    schedule/violations columns entirely.  Grids without any schedules axis
+    keep their exact historical rows — and fingerprints — byte for byte.
+    """
+    rows = [cell.row() for cell in cells]
+    if any(len(cell.key) > 7 for cell in cells):
+        for cell, row in zip(cells, rows):
+            if "schedule" not in row:
+                row["schedule"] = "-"
+                row["violations"] = cell.count - cell.solved
+    return rows
 
 
 def _rows_fingerprint(rows: List[Dict[str, Any]]) -> str:
@@ -536,6 +572,10 @@ def _canonical_trial(trial: TrialResult) -> Dict[str, Any]:
     # dict keys become strings in JSON; make that explicit and ordered
     data["decisions"] = {str(k): v for k, v in sorted(trial.decisions.items())}
     data["crashes"] = {str(k): v for k, v in sorted(trial.crashes.items())}
+    if data.get("schedule_label") == "-":
+        # absent for unexplored trials, keeping pre-schedule-axis sweep
+        # fingerprints byte-identical
+        del data["schedule_label"]
     return data
 
 

@@ -13,6 +13,10 @@ A :class:`GridSpec` names one value set per experimental axis —
 * **workload** — optional :mod:`repro.db` transaction batteries; a trial with
   a workload runs a simulated cluster (``n`` partitions, the protocol axis
   embedded as the commit protocol) instead of a bare protocol execution;
+* **schedule** — optional schedule-exploration strategies (see
+  :mod:`repro.explore`): a trial carrying a :class:`ScheduleSpec` runs under
+  a schedule controller built from ``(strategy, params, derived seed)``
+  instead of strict timestamp order;
 * **seed** — base seeds, one full grid repetition each
 
 — and expands their cross product into a flat list of :class:`TrialSpec`
@@ -38,7 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.sim.faults import FaultPlan
-from repro.sim.network import DelayModel, FixedDelay
+from repro.sim.network import DelayModel
 from repro.sim.trace import TRACE_LEVELS
 
 # --------------------------------------------------------------------------- #
@@ -55,30 +59,76 @@ def all_no(n: int) -> List[int]:
     return [0] * n
 
 
-def one_no(pid: int) -> Callable[[int], List[int]]:
-    """Everyone votes 1 except process ``pid``."""
+class _OneNoPattern:
+    """Everyone votes 1 except one process (picklable, unlike a closure)."""
 
-    def pattern(n: int) -> List[int]:
+    __slots__ = ("pid",)
+
+    def __init__(self, pid: int):
+        self.pid = pid
+
+    def __call__(self, n: int) -> List[int]:
+        if not 1 <= self.pid <= n:
+            raise ConfigurationError(f"one_no({self.pid}) used with n={n}")
         votes = [1] * n
-        if not 1 <= pid <= n:
-            raise ConfigurationError(f"one_no({pid}) used with n={n}")
-        votes[pid - 1] = 0
+        votes[self.pid - 1] = 0
         return votes
 
-    return pattern
+
+def one_no(pid: int) -> Callable[[int], List[int]]:
+    """Everyone votes 1 except process ``pid``."""
+    return _OneNoPattern(pid)
+
+
+class _FixedVotesPattern:
+    """A literal vote vector (picklable, unlike a closure)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Sequence[int]):
+        self.values = tuple(values)
+
+    def __call__(self, n: int) -> List[int]:
+        if len(self.values) != n:
+            raise ConfigurationError(
+                f"fixed vote vector has {len(self.values)} entries but n={n}"
+            )
+        return list(self.values)
 
 
 def fixed_votes(values: Sequence[int]) -> Callable[[int], List[int]]:
     """A literal vote vector; only valid for the matching ``n``."""
+    return _FixedVotesPattern(values)
 
-    def pattern(n: int) -> List[int]:
-        if len(values) != n:
+
+class _WeightedVotesPattern:
+    """Weighted random votes, drawn per trial from the trial's derived seed."""
+
+    __slots__ = ("no_probability",)
+
+    def __init__(self, no_probability: float):
+        if not 0.0 <= no_probability <= 1.0:
             raise ConfigurationError(
-                f"fixed vote vector has {len(values)} entries but n={n}"
+                f"no_probability must be in [0, 1], got {no_probability}"
             )
-        return list(values)
+        self.no_probability = no_probability
 
-    return pattern
+    def __call__(self, n: int, seed: int) -> List[int]:
+        from repro.workloads.votes import random_votes
+
+        return random_votes(n, no_probability=self.no_probability, seed=seed)
+
+
+def mixed_votes(no_probability: float, label: Optional[str] = None) -> "VoteSpec":
+    """A mixed-vote axis value: each trial draws a fresh weighted vote vector.
+
+    The vector is a pure function of ``(n, derived seed)``, so a trial's votes
+    are identical wherever (and however many times) it runs, while the seeds
+    axis sweeps genuinely different vote mixes through one grid cell.
+    """
+    if label is None:
+        label = f"mixed({no_probability:g})"
+    return VoteSpec(label=label, seeded=_WeightedVotesPattern(no_probability))
 
 
 # --------------------------------------------------------------------------- #
@@ -116,10 +166,32 @@ class FaultSpec:
 
 @dataclass(frozen=True)
 class VoteSpec:
-    """A named vote pattern, a function of ``n``."""
+    """A named vote pattern: a function of ``n``, or of ``(n, trial seed)``.
+
+    Exactly one of ``pattern`` (deterministic in ``n``; resolvable once per
+    grid cell) or ``seeded`` (drawn per trial from the derived seed, e.g.
+    weighted random vote mixes — see :func:`mixed_votes`) must be set.
+    """
 
     label: str
-    pattern: Callable[[int], List[int]]
+    pattern: Optional[Callable[[int], List[int]]] = None
+    seeded: Optional[Callable[[int, int], List[int]]] = None
+
+    def __post_init__(self) -> None:
+        if (self.pattern is None) == (self.seeded is None):
+            raise ConfigurationError(
+                f"VoteSpec {self.label!r} needs exactly one of pattern= or seeded="
+            )
+
+    @property
+    def per_trial(self) -> bool:
+        """Whether the vote vector depends on the trial seed."""
+        return self.seeded is not None
+
+    def resolve(self, n: int, seed: int) -> List[int]:
+        if self.seeded is not None:
+            return self.seeded(n, seed)
+        return self.pattern(n)
 
 
 @dataclass(frozen=True)
@@ -138,12 +210,39 @@ class WorkloadSpec:
     factory: Callable[[int, int], Sequence[Any]]
 
 
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """A named schedule-exploration strategy for the ``schedules`` axis.
+
+    Pure plain data — a registry strategy name plus parameter pairs — so a
+    grid carrying schedules pickles under any multiprocessing start method.
+    ``build(seed)`` resolves the name against
+    :mod:`repro.explore.strategies` and returns a fresh controller seeded
+    with the trial's derived seed (controllers are single-use).
+    """
+
+    label: str
+    strategy: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def strategy_params(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def build(self, seed: int):
+        # resolved lazily: repro.explore sits above the sim layer and is only
+        # needed by trials that actually explore
+        from repro.explore.strategies import make_strategy
+
+        return make_strategy(self.strategy, seed=seed, **dict(self.params))
+
+
 # Accepted shorthand for each axis (normalised by the coerce_* helpers below).
 ProtocolLike = Union[str, type, Tuple[str, type], ProtocolSpec]
-DelayLike = Union[None, DelayModel, Tuple[str, Callable[..., DelayModel]], DelaySpec]
+DelayLike = Union[None, str, DelayModel, Tuple[str, Callable[..., DelayModel]], DelaySpec]
 FaultLike = Union[None, FaultPlan, Tuple[str, Union[FaultPlan, Callable[[], FaultPlan]]], FaultSpec]
 VoteLike = Union[str, Tuple[str, Callable[[int], List[int]]], VoteSpec]
 WorkloadLike = Union[None, Tuple[str, Any], WorkloadSpec]
+ScheduleLike = Union[None, str, Tuple[str, str], Tuple[str, str, Dict[str, Any]], ScheduleSpec]
 
 _NAMED_PATTERNS: Dict[str, Callable[[int], List[int]]] = {
     "all-yes": all_yes,
@@ -168,30 +267,74 @@ def coerce_protocol(value: ProtocolLike) -> ProtocolSpec:
     raise ConfigurationError(f"cannot interpret {value!r} as a protocol axis value")
 
 
+class _TemplateDelayFactory:
+    """Per-trial deep copy of a delay-model instance, reseeded with the trial.
+
+    A model instance on the axis must be deep-copied per trial so RNG state
+    is never shared, then reseeded with the trial seed — otherwise every seed
+    on the seeds axis would replay the identical delay sequence.  Picklable
+    whenever the template model is.
+    """
+
+    __slots__ = ("template",)
+
+    def __init__(self, template: DelayModel):
+        self.template = template
+
+    def __call__(self, seed: int) -> DelayModel:
+        model = copy.deepcopy(self.template)
+        rng = getattr(model, "_rng", None)
+        if isinstance(rng, random.Random):
+            rng.seed(seed)
+        return model
+
+
 def coerce_delay(value: DelayLike) -> DelaySpec:
+    # resolved lazily to keep module import order simple
+    from repro.exp.registry import NamedDelayFactory, named_delay
+
     if isinstance(value, DelaySpec):
         return value
     if value is None:
-        return DelaySpec(label="U=1", factory=lambda seed: FixedDelay(1.0))
+        return DelaySpec(label="U=1", factory=NamedDelayFactory("fixed", {}))
+    if isinstance(value, str):
+        # a registry name: always spawn-safe (see repro.exp.registry)
+        return named_delay(value)
     if isinstance(value, tuple):
+        if len(value) == 3:
+            label, name, params = value
+            if not isinstance(name, str):
+                raise ConfigurationError(
+                    f"cannot interpret {value!r} as a delay axis value: a "
+                    f"3-tuple must be (label, registry_name, params)"
+                )
+            return named_delay(name, label=label, **dict(params))
         label, factory = value
+        if isinstance(factory, str):
+            return named_delay(factory, label=label)
         return DelaySpec(label=label, factory=_seed_aware(factory))
     if hasattr(value, "delay") and hasattr(value, "bound"):
-        # A model instance: deep-copied per trial so RNG state is never
-        # shared, then reseeded with the trial seed — otherwise every seed on
-        # the seeds axis would replay the identical delay sequence.
-        template = value
-        label = type(value).__name__
-
-        def build_from_template(seed: int) -> DelayModel:
-            model = copy.deepcopy(template)
-            rng = getattr(model, "_rng", None)
-            if isinstance(rng, random.Random):
-                rng.seed(seed)
-            return model
-
-        return DelaySpec(label=label, factory=build_from_template)
+        return DelaySpec(
+            label=type(value).__name__, factory=_TemplateDelayFactory(value)
+        )
     raise ConfigurationError(f"cannot interpret {value!r} as a delay axis value")
+
+
+class _SeedAwareFactory:
+    """Adapter letting a factory take the trial seed or no argument at all.
+
+    Picklable whenever the wrapped factory is (a lambda still is not — use a
+    registry name for spawn-safe grids).
+    """
+
+    __slots__ = ("factory", "takes_seed")
+
+    def __init__(self, factory: Callable[..., DelayModel], takes_seed: bool):
+        self.factory = factory
+        self.takes_seed = takes_seed
+
+    def __call__(self, seed: int) -> DelayModel:
+        return self.factory(seed) if self.takes_seed else self.factory()
 
 
 def _seed_aware(factory: Callable[..., DelayModel]) -> Callable[[int], DelayModel]:
@@ -208,17 +351,29 @@ def _seed_aware(factory: Callable[..., DelayModel]) -> Callable[[int], DelayMode
         )
     except (TypeError, ValueError):  # builtins / C callables without signatures
         takes_seed = True
-
-    def build(seed: int) -> DelayModel:
-        return factory(seed) if takes_seed else factory()
-
-    return build
+    return _SeedAwareFactory(factory, takes_seed)
 
 
 def _fresh_plan(plan: FaultPlan) -> FaultPlan:
     """Rebuild a plan with pristine DelayRules (their match counters reset)."""
     rules = [dataclasses.replace(rule) for rule in plan.delay_rules]
     return FaultPlan(crashes=dict(plan.crashes), delay_rules=rules, description=plan.description)
+
+
+class _PlanTemplateFactory:
+    """Per-trial fresh copy of a literal fault plan.
+
+    Picklable whenever the plan is (plans whose DelayRules carry lambda
+    predicates still are not — those need the fork start method).
+    """
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def __call__(self) -> FaultPlan:
+        return _fresh_plan(self.plan)
 
 
 def coerce_fault(value: FaultLike) -> FaultSpec:
@@ -228,13 +383,11 @@ def coerce_fault(value: FaultLike) -> FaultSpec:
         return FaultSpec(label="failure-free", factory=FaultPlan.failure_free)
     if isinstance(value, FaultPlan):
         label = value.description or "fault-plan"
-        return FaultSpec(label=label, factory=lambda plan=value: _fresh_plan(plan))
+        return FaultSpec(label=label, factory=_PlanTemplateFactory(value))
     if isinstance(value, tuple):
         label, plan_or_factory = value
         if isinstance(plan_or_factory, FaultPlan):
-            return FaultSpec(
-                label=label, factory=lambda plan=plan_or_factory: _fresh_plan(plan)
-            )
+            return FaultSpec(label=label, factory=_PlanTemplateFactory(plan_or_factory))
         if plan_or_factory is None:
             return FaultSpec(label=label, factory=FaultPlan.failure_free)
         return FaultSpec(label=label, factory=plan_or_factory)
@@ -245,19 +398,44 @@ def coerce_votes(value: VoteLike) -> VoteSpec:
     if isinstance(value, VoteSpec):
         return value
     if isinstance(value, str):
-        try:
+        if value in _NAMED_PATTERNS:
             return VoteSpec(label=value, pattern=_NAMED_PATTERNS[value])
-        except KeyError as exc:
-            known = ", ".join(sorted(_NAMED_PATTERNS))
-            raise ConfigurationError(
-                f"unknown vote pattern {value!r}; known: {known}"
-            ) from exc
+        # parameterised registry names, always spawn-safe:
+        #   "one-no:3"    -> everyone votes 1 except P3
+        #   "mixed:0.25"  -> per-trial weighted random votes, P(no) = 0.25
+        if ":" in value:
+            name, _, arg = value.partition(":")
+            try:
+                if name == "one-no":
+                    return VoteSpec(label=value, pattern=_OneNoPattern(int(arg)))
+                if name == "mixed":
+                    return VoteSpec(
+                        label=value, seeded=_WeightedVotesPattern(float(arg))
+                    )
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"malformed vote pattern {value!r}: {exc}"
+                ) from None
+        known = ", ".join(sorted(_NAMED_PATTERNS) + ["one-no:<pid>", "mixed:<p>"])
+        raise ConfigurationError(f"unknown vote pattern {value!r}; known: {known}")
     if isinstance(value, tuple):
         label, pattern = value
         if not callable(pattern):
             pattern = fixed_votes(pattern)
         return VoteSpec(label=label, pattern=pattern)
     raise ConfigurationError(f"cannot interpret {value!r} as a votes axis value")
+
+
+class _VerbatimWorkload:
+    """A fixed transaction list replayed identically in every trial."""
+
+    __slots__ = ("transactions",)
+
+    def __init__(self, transactions: Sequence[Any]):
+        self.transactions = list(transactions)
+
+    def __call__(self, n: int, seed: int) -> Sequence[Any]:
+        return self.transactions
 
 
 def _workload_factory(source: Any) -> Callable[[int, int], Sequence[Any]]:
@@ -269,8 +447,7 @@ def _workload_factory(source: Any) -> Callable[[int, int], Sequence[Any]]:
     """
     if callable(source):
         return source
-    transactions = list(getattr(source, "transactions", source))
-    return lambda n, seed: transactions
+    return _VerbatimWorkload(getattr(source, "transactions", source))
 
 
 def coerce_workload(value: WorkloadLike) -> Optional[WorkloadSpec]:
@@ -282,6 +459,36 @@ def coerce_workload(value: WorkloadLike) -> Optional[WorkloadSpec]:
         label, source = value
         return WorkloadSpec(label=label, factory=_workload_factory(source))
     raise ConfigurationError(f"cannot interpret {value!r} as a workload axis value")
+
+
+def coerce_schedule(value: ScheduleLike) -> Optional[ScheduleSpec]:
+    """Normalise a schedules-axis value.
+
+    Accepted shorthand: ``None`` (strict timestamp order — the default
+    scheduling, no controller attached), a strategy name string, a
+    ``(label, strategy)`` pair, or ``(label, strategy, params)`` with a
+    plain-data params dict.
+    """
+    if value is None:
+        return None
+    if isinstance(value, ScheduleSpec):
+        return value
+    if isinstance(value, str):
+        return ScheduleSpec(label=value, strategy=value)
+    if isinstance(value, tuple):
+        if len(value) == 2:
+            label, strategy = value
+            params: Dict[str, Any] = {}
+        elif len(value) == 3:
+            label, strategy, params = value
+        else:
+            raise ConfigurationError(
+                f"cannot interpret {value!r} as a schedules axis value"
+            )
+        return ScheduleSpec(
+            label=label, strategy=strategy, params=tuple(sorted(dict(params).items()))
+        )
+    raise ConfigurationError(f"cannot interpret {value!r} as a schedules axis value")
 
 
 # --------------------------------------------------------------------------- #
@@ -313,13 +520,23 @@ class TrialSpec:
     #: of :meth:`key`, so the derived seed — and therefore every measurement
     #: — is identical across trace levels.
     trace_level: Optional[str] = None
+    #: optional schedule-exploration strategy (see :mod:`repro.explore`).
+    #: Like ``trace_level``, deliberately *not* part of :meth:`key`: the
+    #: derived seed fixes the underlying execution (votes, delays, faults),
+    #: and the schedule only perturbs its event order — so strategies compare
+    #: apples to apples, and a stored schedule replays against the same seed.
+    schedule: Optional[ScheduleSpec] = None
 
     @property
     def workload_label(self) -> str:
         return self.workload.label if self.workload is not None else "-"
 
+    @property
+    def schedule_label(self) -> str:
+        return self.schedule.label if self.schedule is not None else "-"
+
     def key(self) -> Tuple[str, int, int, str, str, str, str]:
-        """The trial's grid coordinates (everything except the seed)."""
+        """The trial's grid coordinates (everything except seed and schedule)."""
         return (
             self.protocol.label,
             self.n,
@@ -344,7 +561,7 @@ class TrialSpec:
 
 @dataclass
 class GridSpec:
-    """The cross product protocol x (n, f) x delay x fault x votes x workload x seed."""
+    """The cross product protocol x (n, f) x delay x fault x votes x workload x schedule x seed."""
 
     protocols: Sequence[ProtocolLike] = ()
     systems: Sequence[Tuple[int, int]] = ((5, 2),)
@@ -352,11 +569,16 @@ class GridSpec:
     faults: Sequence[FaultLike] = (None,)
     votes: Sequence[VoteLike] = ("all-yes",)
     workloads: Sequence[WorkloadLike] = (None,)
+    schedules: Sequence[ScheduleLike] = (None,)
     seeds: Sequence[int] = (0,)
     max_time: float = 500.0
     #: ``None`` (default) lets the engine pick per sweep mode: "counters"
     #: for aggregate-mode sweeps, "full" otherwise.  Set explicitly to pin.
     trace_level: Optional[str] = None
+    #: alias for ``votes`` matching the mixed-vote-workload vocabulary
+    #: (``vote_pattern=[mixed_votes(0.3)]``); exactly one of the two may be
+    #: customised.
+    vote_pattern: Optional[Sequence[VoteLike]] = None
 
     def __post_init__(self) -> None:
         if self.trace_level is not None and self.trace_level not in TRACE_LEVELS:
@@ -364,6 +586,13 @@ class GridSpec:
                 f"unknown trace_level {self.trace_level!r}; "
                 f"expected one of {TRACE_LEVELS} (or None to defer to the engine)"
             )
+        if self.vote_pattern is not None:
+            if tuple(self.votes) != ("all-yes",):
+                raise ConfigurationError(
+                    "give either votes= or vote_pattern=, not both "
+                    "(vote_pattern is an alias for the votes axis)"
+                )
+            self.votes = tuple(self.vote_pattern)
         if not self.protocols:
             # registry-driven default: sweep every implemented protocol
             from repro.protocols.registry import protocol_names
@@ -374,6 +603,12 @@ class GridSpec:
         self._fault_specs = [coerce_fault(fp) for fp in self.faults]
         self._vote_specs = [coerce_votes(v) for v in self.votes]
         self._workload_specs = [coerce_workload(w) for w in self.workloads]
+        self._schedule_specs = [coerce_schedule(s) for s in self.schedules]
+        schedule_labels = [s.label for s in self._schedule_specs if s is not None]
+        if len(set(schedule_labels)) != len(schedule_labels):
+            raise ConfigurationError(
+                f"duplicate schedule labels in grid: {schedule_labels}"
+            )
         for n, f in self.systems:
             if not 1 <= f <= n - 1:
                 raise ConfigurationError(f"invalid system size (n={n}, f={f})")
@@ -389,6 +624,13 @@ class GridSpec:
                 "axis: votes do not apply to cluster trials (they come from "
                 "lock conflicts); sweep the votes axis in a separate grid"
             )
+        if any(w is not None for w in self._workload_specs) and any(
+            s is not None for s in self._schedule_specs
+        ):
+            raise ConfigurationError(
+                "a schedules axis cannot be combined with a workload axis: "
+                "cluster batteries do not take a schedule controller"
+            )
 
     @property
     def size(self) -> int:
@@ -399,6 +641,7 @@ class GridSpec:
             * len(self._fault_specs)
             * len(self._vote_specs)
             * len(self._workload_specs)
+            * len(self._schedule_specs)
             * len(self.seeds)
         )
 
@@ -412,23 +655,25 @@ class GridSpec:
                     for fault in self._fault_specs:
                         for votes in self._vote_specs:
                             for workload in self._workload_specs:
-                                for seed in self.seeds:
-                                    out.append(
-                                        TrialSpec(
-                                            index=index,
-                                            protocol=protocol,
-                                            n=n,
-                                            f=f,
-                                            delay=delay,
-                                            fault=fault,
-                                            votes=votes,
-                                            base_seed=seed,
-                                            max_time=self.max_time,
-                                            workload=workload,
-                                            trace_level=self.trace_level,
+                                for schedule in self._schedule_specs:
+                                    for seed in self.seeds:
+                                        out.append(
+                                            TrialSpec(
+                                                index=index,
+                                                protocol=protocol,
+                                                n=n,
+                                                f=f,
+                                                delay=delay,
+                                                fault=fault,
+                                                votes=votes,
+                                                base_seed=seed,
+                                                max_time=self.max_time,
+                                                workload=workload,
+                                                trace_level=self.trace_level,
+                                                schedule=schedule,
+                                            )
                                         )
-                                    )
-                                    index += 1
+                                        index += 1
         return out
 
 
@@ -453,7 +698,7 @@ def make_cases(
     for index, case in enumerate(cases):
         unknown = set(case) - {
             "protocol", "n", "f", "delay", "fault", "votes", "workload", "seed",
-            "max_time", "trace_level",
+            "max_time", "trace_level", "schedule",
         }
         if unknown:
             raise ConfigurationError(f"unknown case keys: {sorted(unknown)}")
@@ -475,6 +720,7 @@ def make_cases(
                 max_time=float(case.get("max_time", max_time)),
                 workload=coerce_workload(case.get("workload")),
                 trace_level=trace_level,
+                schedule=coerce_schedule(case.get("schedule")),
             )
         )
     return out

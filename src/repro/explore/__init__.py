@@ -1,0 +1,83 @@
+"""repro.explore — adversarial schedule exploration with seeded replay.
+
+The paper's claims are quantified over *all* admissible executions: every
+message ordering the asynchronous network may produce and every crash point
+the adversary may pick.  The rest of this repo *measures* hand-written
+scenarios; this package *searches* the execution space:
+
+* :mod:`repro.explore.schedule` — the decision vocabulary.  A schedule
+  controller (hooked into :class:`repro.sim.runner.Scheduler`) may defer a
+  delivery (extend its delay, possibly beyond the bound ``U``) or inject a
+  crash before an event — exactly the adversary of the paper's model.  Every
+  applied decision is recorded, and :class:`ScheduleTrace` serialises
+  ``(strategy, seed, decisions)`` so any explored execution replays
+  byte-identically (:meth:`repro.sim.trace.Trace.fingerprint`).
+* :mod:`repro.explore.strategies` — pluggable, registry-named strategies:
+  seeded random walks, bounded delay reordering, and crash-point enumeration
+  at protocol phase boundaries.
+* :mod:`repro.explore.driver` — :func:`explore` runs a schedule budget
+  through :func:`repro.exp.run_sweep` (the ``schedules`` axis fans out over
+  the existing process pool), checks every execution against
+  :mod:`repro.core.properties` (optionally cell-aware), and greedily shrinks
+  violating schedules to minimal counterexamples.
+* :mod:`repro.explore.fold` — :class:`ViolationFold`, the bounded-memory
+  reducer for huge exploration budgets (``reducer="violations"``).
+
+Example
+-------
+>>> from repro.explore import explore
+>>> report = explore("2PC", n=5, f=2, budget=100, strategy="random-walk")
+>>> report.found                     # 2PC blocks when the coordinator dies
+True
+>>> print(report.violations[0].describe())      # doctest: +SKIP
+violated: termination (crash-failure execution, seed 17)
+explored schedule: 3 decisions
+minimal counterexample: 1 decisions
+  step 9: crash P1
+"""
+
+from repro.explore.driver import (
+    ExplorationReport,
+    Violation,
+    explore,
+    replay_trial,
+    shrink_violation,
+)
+from repro.explore.fold import ViolationFold
+from repro.explore.schedule import (
+    DECISION_KINDS,
+    ReplayController,
+    ScheduleController,
+    ScheduleTrace,
+)
+from repro.explore.strategies import (
+    STRATEGIES,
+    CrashPoint,
+    DelayReorder,
+    RandomWalk,
+    TimestampOrder,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "DECISION_KINDS",
+    "STRATEGIES",
+    "CrashPoint",
+    "DelayReorder",
+    "ExplorationReport",
+    "RandomWalk",
+    "ReplayController",
+    "ScheduleController",
+    "ScheduleTrace",
+    "TimestampOrder",
+    "Violation",
+    "ViolationFold",
+    "explore",
+    "make_strategy",
+    "register_strategy",
+    "replay_trial",
+    "shrink_violation",
+    "strategy_names",
+]

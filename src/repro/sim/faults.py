@@ -53,6 +53,17 @@ class DelayRule:
             raise ConfigurationError("DelayRule needs exactly one of delay= or extra=")
         self._matches_seen = 0
 
+    def reset(self) -> None:
+        """Forget the matches seen so far.
+
+        ``nth_match`` makes a rule stateful: a plan reused across runs (for
+        instance through a per-cell cached :class:`~repro.sim.runner.Simulation`)
+        would silently stop matching after the first one.  The scheduler calls
+        :meth:`FaultPlan.reset_rules` at the start of every execution so each
+        run counts matches from zero.
+        """
+        self._matches_seen = 0
+
     def apply(
         self,
         src: int,
@@ -155,6 +166,11 @@ class FaultPlan:
             delay_rules=list(self.delay_rules) + list(other.delay_rules),
             description=f"{self.description} + {other.description}".strip(" +"),
         )
+
+    def reset_rules(self) -> None:
+        """Reset every delay rule's match counter (see :meth:`DelayRule.reset`)."""
+        for rule in self.delay_rules:
+            rule.reset()
 
     def crash_count(self) -> int:
         return len(self.crashes)

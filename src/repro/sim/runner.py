@@ -30,10 +30,31 @@ records through an msg-id → record map (never a scan of the message log), and
 the common "stop once every correct process has decided" condition is a
 decremented counter maintained by :meth:`Scheduler.record_decision`, not a
 predicate re-evaluated over every process id on every event.
+
+Schedule controllers
+--------------------
+By default the scheduler fires events in strict ``(time, priority, seq)``
+order — that path is untouched and fingerprint-guarded.  An optional
+``controller`` (see :mod:`repro.explore`) is consulted once per popped event
+and may perturb the schedule within the paper's admissible-execution space:
+
+* ``("defer", extra)`` — postpone the delivery by ``extra`` time units
+  (extending a message delay is exactly what the eventually-synchronous
+  adversary is allowed to do; a deferred delivery whose effective delay
+  exceeds the bound ``U`` turns the run into a network-failure execution);
+* ``("crash", pid)`` — crash ``pid`` immediately, before the current event is
+  dispatched, provided the fault budget ``f`` is not exhausted.
+
+Timers, proposals and crashes cannot be reordered (they are local and fire on
+time in a synchronous system), so every controlled schedule remains an
+admissible execution.  Applied decisions are recorded in
+:attr:`Scheduler.applied_schedule_actions`, from which the exploration layer
+builds its replayable :class:`~repro.explore.ScheduleTrace`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import random
 from dataclasses import dataclass, field
@@ -100,6 +121,7 @@ class Scheduler:
         max_time: float = 500.0,
         protocol_name: str = "",
         trace_level: str = "full",
+        controller: Optional[Any] = None,
     ):
         if n < 2:
             raise ConfigurationError(f"need at least 2 processes, got n={n}")
@@ -118,6 +140,9 @@ class Scheduler:
         self.network = Network(delay_model or FixedDelay(1.0))
         self.fault_plan = fault_plan or FaultPlan.failure_free()
         self.fault_plan.validate(n, f)
+        # nth_match rules count matches; a plan reused across runs (per-cell
+        # cached Simulations) must start every execution from zero
+        self.fault_plan.reset_rules()
         self.network.install_overrides(self.fault_plan.delay_rules)
         trace_cls = Trace if trace_level == "full" else CounterTrace
         self.trace = trace_cls(n=n, f=f, u=self.network.u, protocol=protocol_name)
@@ -136,6 +161,16 @@ class Scheduler:
         # stop_when_all_correct_decided); None = not armed
         self._correct_pids: Optional[frozenset] = None
         self._undecided_correct = 0
+        # schedule-controller state (None = strict timestamp order)
+        self._controller = controller
+        self._controller_began = False
+        self._schedule_step = 0
+        self._schedule_overdue = False
+        self._injected_crashes: set = set()
+        self._crash_budget = self.f - len(self.fault_plan.crashes)
+        #: every controller decision that actually applied, as
+        #: ``(step, kind, arg)`` tuples — the raw material of a ScheduleTrace
+        self.applied_schedule_actions: List[tuple] = []
         # schedule crashes up front
         for pid, at in self.fault_plan.crashes.items():
             self._push(CrashEvent(time=at, priority=PRIORITY_CRASH, seq=self._next_seq(), pid=pid))
@@ -271,10 +306,19 @@ class Scheduler:
 
     def run(self) -> Trace:
         """Process events until the queue drains, max_time passes, or stop fires."""
+        if self._controller is not None and not self._controller_began:
+            self._controller_began = True
+            begin = getattr(self._controller, "begin", None)
+            if begin is not None:
+                begin(self)
         while self._heap:
             _, event = heapq.heappop(self._heap)
             if event.time > self.max_time:
                 break
+            if self._controller is not None:
+                event = self._consult_controller(event)
+                if event is None:  # deferred: re-queued at a later time
+                    continue
             self.clock.advance_to(event.time)
             self._dispatch(event)
             if self._stopped:
@@ -288,6 +332,107 @@ class Scheduler:
 
     def stop(self) -> None:
         self._stopped = True
+
+    # ------------------------------------------------------------------ #
+    # schedule control (exploration subsystem; see module docstring)
+    # ------------------------------------------------------------------ #
+    def _consult_controller(self, event: Event) -> Optional[Event]:
+        """Offer the next event to the controller; apply its decision.
+
+        Returns the event to dispatch now, or ``None`` when the event was
+        deferred (it is back on the heap at a later time).  Inapplicable
+        decisions (deferring a timer, crashing past the budget) are ignored,
+        which keeps replay of a *shrunk* decision list well-defined.
+        """
+        step = self._schedule_step
+        self._schedule_step += 1
+        action = self._controller.intercept(self, event, step)
+        if not action:
+            return event
+        kind = action[0]
+        if kind == "defer":
+            extra = float(action[1])
+            if self._defer_delivery(event, extra):
+                self.applied_schedule_actions.append((step, "defer", extra))
+                return None
+            return event
+        if kind == "crash":
+            pid = int(action[1])
+            if self.inject_crash(pid, at=event.time):
+                self.applied_schedule_actions.append((step, "crash", pid))
+            return event
+        raise ConfigurationError(f"unknown schedule action {action!r}")
+
+    def _defer_delivery(self, event: Event, extra: float) -> bool:
+        """Postpone a delivery by ``extra`` time units; True if applied.
+
+        Only real (non-self) message deliveries can be deferred — timers,
+        proposals and crashes are local and fire on time in a synchronous
+        system, so reordering them would leave the admissible execution
+        space.  The pending trace record (or the counters digest) is updated
+        to the new receive time, and an effective delay beyond the bound
+        ``U`` marks the execution as a network failure.
+        """
+        if not isinstance(event, MessageDeliveryEvent) or event.src == event.dst:
+            return False
+        if extra <= 0:
+            return False
+        new_time = max(self.clock.now, event.time) + extra
+        record = self._pending_records.get(event.msg_id)
+        if record is not None:
+            record.recv_time = new_time
+        else:
+            self.trace.adjust_recv_time(event.time, new_time)
+        if new_time - event.send_time > self.network.u + 1e-9:
+            self._schedule_overdue = True
+        self._push(dataclasses.replace(event, time=new_time, seq=self._next_seq()))
+        return True
+
+    def can_inject_crash(self, pid: int) -> bool:
+        """Whether crashing ``pid`` now stays within the fault budget ``f``."""
+        process = self.processes.get(pid)
+        return (
+            process is not None
+            and not process.crashed
+            and self._crash_budget > 0
+            and pid not in self.fault_plan.crashes
+        )
+
+    def inject_crash(self, pid: int, at: Optional[float] = None) -> bool:
+        """Crash ``pid`` immediately (schedule-controller crash point).
+
+        Unlike fault-plan crashes this happens *between* events: the process
+        handles nothing from this moment on.  Ignored (returns False) when
+        the process is unknown, already crashed, already doomed by the fault
+        plan, or the budget of ``f`` total crashes would be exceeded.
+        """
+        if not self.can_inject_crash(pid):
+            return False
+        self._crash_budget -= 1
+        self._injected_crashes.add(pid)
+        process = self.processes[pid]
+        process.crashed = True
+        process.on_crash()
+        crash_time = self.clock.now if at is None else max(self.clock.now, at)
+        self.trace.record_crash(pid, self.clock.time_to_units(crash_time))
+        if self._correct_pids is not None and pid in self._correct_pids:
+            self._correct_pids = self._correct_pids - {pid}
+            if pid not in self.trace.decisions:
+                self._undecided_correct -= 1
+        return True
+
+    def execution_class(self) -> str:
+        """The execution's class, including schedule-controller effects.
+
+        Identical to ``fault_plan.execution_class(u)`` for uncontrolled runs;
+        a controller upgrades the class when it deferred a delivery beyond
+        the bound (network failure) or injected crashes (crash failure).
+        """
+        if self._schedule_overdue or self.fault_plan.is_network_failure(self.network.u):
+            return "network-failure"
+        if self.fault_plan.crashes or self._injected_crashes:
+            return "crash-failure"
+        return "failure-free"
 
     def _dispatch(self, event: Event) -> None:
         # ordered by frequency: deliveries dominate every run, then timers
@@ -419,12 +564,16 @@ class Simulation:
         delay_model: Optional[DelayModel] = None,
         fault_plan: Optional[FaultPlan] = None,
         seed: Optional[int] = None,
+        controller: Optional[Any] = None,
     ) -> SimulationResult:
         """Run one execution with the given per-process votes.
 
         ``delay_model`` / ``fault_plan`` / ``seed`` override the constructor
         defaults for this run only — the hook the sweep engine uses to reuse
         one ``Simulation`` per grid cell across per-trial-seeded models.
+        ``controller`` attaches a schedule controller (see
+        :mod:`repro.explore`) to this run; the applied schedule decisions
+        land in ``trace.metadata["schedule_decisions"]``.
         """
         if isinstance(votes, dict):
             vote_map = dict(votes)
@@ -444,6 +593,7 @@ class Simulation:
             max_time=self._max_time,
             protocol_name=self._protocol_name,
             trace_level=self._trace_level,
+            controller=controller,
         )
         scheduler.bind_processes(self._factory)
         for pid in range(1, self.n + 1):
@@ -456,10 +606,14 @@ class Simulation:
 
         trace = scheduler.run()
         trace.metadata["fault_plan"] = scheduler.fault_plan.description
-        trace.metadata["execution_class"] = scheduler.fault_plan.execution_class(
-            scheduler.network.u
-        )
+        # scheduler.execution_class() == fault_plan.execution_class(u) for
+        # uncontrolled runs; controllers can upgrade the class dynamically
+        trace.metadata["execution_class"] = scheduler.execution_class()
         trace.metadata["votes"] = vote_map
+        if controller is not None:
+            trace.metadata["schedule_decisions"] = list(
+                scheduler.applied_schedule_actions
+            )
         return SimulationResult(trace=trace, processes=scheduler.processes)
 
 

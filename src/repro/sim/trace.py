@@ -25,6 +25,8 @@ Two trace levels (selected by the scheduler's ``trace_level``):
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -136,6 +138,15 @@ class Trace:
 
     def record_timer(self, pid: int, name: str, time: float) -> None:
         self.timers.append(TimerRecord(pid=pid, name=name, time=time))
+
+    def adjust_recv_time(self, old_time: float, new_time: float) -> None:
+        """Account for a delivery rescheduled by a schedule controller.
+
+        At the full level the scheduler mutates the pending
+        :class:`MessageRecord` directly (it holds the record by msg id), so
+        this is a no-op; :class:`CounterTrace` overrides it to move one
+        occurrence between buckets of its receive-time digest.
+        """
 
     # ------------------------------------------------------------------ #
     # queries (used by metrics and the property checker)
@@ -254,6 +265,49 @@ class Trace:
             best = max(best, my_depth)
         return best
 
+    # ------------------------------------------------------------------ #
+    # canonical fingerprint (replay-determinism checks)
+    # ------------------------------------------------------------------ #
+    def _canonical(self) -> Dict[str, Any]:
+        """Plain-data view of everything the trace recorded, in a fixed order."""
+        return {
+            "level": self.trace_level,
+            "n": self.n,
+            "f": self.f,
+            "u": self.u,
+            "protocol": self.protocol,
+            "messages": [
+                [m.msg_id, m.src, m.dst, repr(m.payload), m.send_time,
+                 m.recv_time, m.counted, m.module, m.delivered]
+                for m in self.messages
+            ],
+            "decisions": {
+                str(pid): [repr(rec.value), rec.time]
+                for pid, rec in sorted(self.decisions.items())
+            },
+            "proposals": {
+                str(pid): [repr(rec.value), rec.time]
+                for pid, rec in sorted(self.proposals.items())
+            },
+            "crashes": {str(pid): t for pid, t in sorted(self.crashes.items())},
+            "timers": [[t.pid, t.name, t.time] for t in self.timers],
+            "end_time": self.end_time,
+        }
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the recorded execution.
+
+        Two runs of the same protocol under the same seeds, fault plan and
+        schedule decisions must produce the same fingerprint — this is what
+        the schedule-exploration subsystem's replay-determinism guarantees
+        are asserted against.  Fingerprints are only comparable between
+        traces of the same level (the counters level records strictly less).
+        """
+        canonical = json.dumps(
+            self._canonical(), sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def summary(self) -> Dict[str, Any]:
         """Compact dictionary used by benchmarks and examples for reporting."""
         last = self.last_decision_time()
@@ -334,6 +388,21 @@ class CounterTrace(Trace):
     def record_timer(self, pid: int, name: str, time: float) -> None:
         self.timer_expiries += 1
 
+    def adjust_recv_time(self, old_time: float, new_time: float) -> None:
+        """Move one counted delivery between receive-time buckets.
+
+        Called by the scheduler when a schedule controller defers a delivery
+        (self-messages are never deferrable, so the occurrence is always in
+        the digest).
+        """
+        digest = self.recv_time_counts
+        count = digest.get(old_time, 0)
+        if count <= 1:
+            digest.pop(old_time, None)
+        else:
+            digest[old_time] = count - 1
+        digest[new_time] = digest.get(new_time, 0) + 1
+
     # ------------------------------------------------------------------ #
     # aggregate queries: answered from the tallies
     # ------------------------------------------------------------------ #
@@ -378,6 +447,32 @@ class CounterTrace(Trace):
 
     def causal_depth(self) -> int:
         raise self._unavailable("causal_depth()")
+
+    def _canonical(self) -> Dict[str, Any]:
+        """Counters-level canonical view (strictly less than the full level)."""
+        return {
+            "level": self.trace_level,
+            "n": self.n,
+            "f": self.f,
+            "u": self.u,
+            "protocol": self.protocol,
+            "counted_total": self.counted_total,
+            "module_counts": dict(sorted(self.module_counts.items())),
+            "recv_time_counts": {
+                str(t): c for t, c in sorted(self.recv_time_counts.items())
+            },
+            "timer_expiries": self.timer_expiries,
+            "decisions": {
+                str(pid): [repr(rec.value), rec.time]
+                for pid, rec in sorted(self.decisions.items())
+            },
+            "proposals": {
+                str(pid): [repr(rec.value), rec.time]
+                for pid, rec in sorted(self.proposals.items())
+            },
+            "crashes": {str(pid): t for pid, t in sorted(self.crashes.items())},
+            "end_time": self.end_time,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -147,3 +147,72 @@ class TestProblemEvaluation:
         row = robustness_row({"crash-failure": [good, no_termination]})
         assert "T" not in row["crash-failure"]
         assert "A" in row["crash-failure"]
+
+
+class TestDelayOnlyNetworkFailures:
+    """Validity's "or a failure occurs" clause when the *only* failure is a
+    delay beyond ``U`` — no crash appears anywhere in the trace, so the
+    checker must rely on the execution class stamped into the metadata (or
+    passed explicitly)."""
+
+    def run_delayed(self, execution_class=None, **kwargs):
+        from repro.protocols.one_nbac import OneNBAC
+        from repro.sim.faults import FaultPlan
+        from repro.sim.runner import Simulation
+
+        sim = Simulation(n=4, f=1, process_class=OneNBAC, max_time=60, **kwargs)
+        # P1's votes arrive after everyone's round-1 timer: a pure
+        # network-failure execution, no crash involved
+        plan = FaultPlan.delay_messages(src=1, delay=40.0)
+        return sim.run([1, 1, 1, 1], fault_plan=plan)
+
+    def test_metadata_stamping_classifies_the_run(self):
+        trace = self.run_delayed().trace
+        assert not trace.crashes
+        assert trace.metadata["execution_class"] == "network-failure"
+
+    def test_abort_on_all_yes_votes_is_excused_by_the_delay(self):
+        trace = self.run_delayed().trace
+        # the synchronous protocol times out on the missing votes and aborts
+        assert 0 in {rec.value for rec in trace.decisions.values()}
+        assert check_validity(trace).holds
+        assert check_nbac(trace).validity.holds
+
+    def test_same_trace_without_the_stamp_would_violate_validity(self):
+        trace = self.run_delayed().trace
+        # control: strip the stamp and the abort becomes a violation,
+        # proving the network-failure clause (not the crash clause) excused it
+        del trace.metadata["execution_class"]
+        assert not check_validity(trace).holds
+        # an explicit class argument overrides the (missing) metadata
+        assert check_validity(trace, "network-failure").holds
+        assert check_nbac(trace, "network-failure").validity.holds
+
+    def test_schedule_deferral_stamps_the_class_without_any_fault_plan(self):
+        # the schedule controller is the other source of delay-only failures:
+        # deferring a delivery beyond U upgrades the class dynamically
+        from repro.explore import ScheduleController
+        from repro.protocols.two_phase import TwoPhaseCommit
+        from repro.sim.runner import Simulation
+
+        class DeferOnce(ScheduleController):
+            def __init__(self):
+                super().__init__()
+                self._done = False
+
+            def intercept(self, scheduler, event, step):
+                from repro.sim.events import MessageDeliveryEvent
+
+                if not self._done and isinstance(event, MessageDeliveryEvent) \
+                        and event.src != event.dst:
+                    self._done = True
+                    return ("defer", 3.0)
+                return None
+
+        sim = Simulation(n=4, f=1, process_class=TwoPhaseCommit, max_time=60)
+        trace = sim.run([1, 1, 1, 1], controller=DeferOnce()).trace
+        assert not trace.crashes
+        assert trace.metadata["execution_class"] == "network-failure"
+        # 2PC aborts when a vote misses the collect deadline; the deferred
+        # delivery is a failure, so validity still holds
+        assert check_validity(trace).holds

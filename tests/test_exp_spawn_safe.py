@@ -1,0 +1,143 @@
+"""Tests for the spawn-safe spec subset and the exp registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp import (
+    GridSpec,
+    ensure_spawn_safe,
+    make_reducer,
+    mixed_votes,
+    named_delay,
+    run_sweep,
+)
+from repro.exp.registry import NamedDelayFactory, delay_model_names, reducer_names
+from repro.sim.faults import DelayRule, FaultPlan
+from repro.sim.network import LognormalDelay, UniformDelay
+
+
+def registry_grid(seeds=range(6)):
+    """A grid built entirely from registry names: spawn-safe by construction."""
+    return GridSpec(
+        protocols=["2PC", "INBAC"],
+        systems=[(5, 2)],
+        delays=["uniform", ("heavy-tail", "lognormal", {"sigma": 0.4})],
+        faults=[None, ("crash P1", FaultPlan.crash(1, at=0.5))],
+        votes=["all-yes", "one-no:3", "mixed:0.2"],
+        schedules=[None, ("rw", "random-walk", {"crash_prob": 0.05})],
+        seeds=seeds,
+    )
+
+
+class TestEnsureSpawnSafe:
+    def test_registry_named_grid_passes(self):
+        ensure_spawn_safe(registry_grid().trials())
+
+    def test_lambda_delay_is_named_in_the_error(self):
+        grid = GridSpec(
+            protocols=["2PC"], systems=[(4, 1)],
+            delays=[("adversary", lambda seed: None)], seeds=range(6),
+        )
+        with pytest.raises(ConfigurationError) as err:
+            ensure_spawn_safe(grid.trials())
+        assert "delays['adversary']" in str(err.value)
+        assert "spawn" in str(err.value)
+
+    def test_lambda_fault_predicate_is_named_in_the_error(self):
+        plan = FaultPlan(
+            delay_rules=[DelayRule(predicate=lambda p: True, delay=30.0)],
+            description="pred",
+        )
+        grid = GridSpec(
+            protocols=["2PC"], systems=[(4, 1)], faults=[("pred", plan)], seeds=range(6)
+        )
+        with pytest.raises(ConfigurationError) as err:
+            ensure_spawn_safe(grid.trials())
+        assert "faults['pred']" in str(err.value)
+
+    def test_unpicklable_collector_is_reported(self):
+        trials = GridSpec(protocols=["2PC"], systems=[(4, 1)], seeds=[0]).trials()
+        with pytest.raises(ConfigurationError) as err:
+            ensure_spawn_safe(trials, collector=lambda t, r: {})
+        assert "collector" in str(err.value)
+
+    def test_explicit_spawn_request_validates_loudly(self):
+        grid = GridSpec(
+            protocols=["2PC"], systems=[(4, 1)],
+            delays=[("adversary", lambda seed: None)], seeds=range(8),
+        )
+        with pytest.raises(ConfigurationError) as err:
+            run_sweep(grid, workers=2, start_method="spawn")
+        assert "delays['adversary']" in str(err.value)
+
+    def test_unknown_start_method_rejected(self):
+        grid = GridSpec(protocols=["2PC"], systems=[(4, 1)], seeds=range(4))
+        with pytest.raises(ConfigurationError):
+            run_sweep(grid, workers=2, start_method="forkserver")
+
+
+class TestSpawnExecution:
+    def test_spawn_pool_reproduces_the_serial_sweep_exactly(self):
+        serial = run_sweep(registry_grid(), workers=1)
+        spawned = run_sweep(registry_grid(), workers=2, start_method="spawn")
+        assert spawned.meta["start_method"] == "spawn"
+        assert spawned.meta["mode"] == "parallel"
+        assert spawned.fingerprint() == serial.fingerprint()
+        assert spawned.aggregate_fingerprint() == serial.aggregate_fingerprint()
+
+    def test_fork_remains_the_default_where_available(self):
+        sweep = run_sweep(registry_grid(seeds=range(3)), workers=2)
+        if sweep.meta["mode"] == "parallel":
+            assert sweep.meta["start_method"] == "fork"
+
+
+class TestDelayRegistry:
+    def test_builtin_names(self):
+        assert {"fixed", "uniform", "lognormal"} <= set(delay_model_names())
+
+    def test_named_delay_builds_seeded_models(self):
+        spec = named_delay("uniform", lo=0.5, hi=1.0)
+        model = spec.factory(7)
+        assert isinstance(model, UniformDelay)
+        assert (model.lo, model.hi) == (0.5, 1.0)
+        # per-trial seeding: same seed, same sequence
+        a = spec.factory(7).delay(1, 2, None, 0.0)
+        b = spec.factory(7).delay(1, 2, None, 0.0)
+        assert a == b
+        assert spec.label == "uniform(hi=1.0,lo=0.5)"
+        heavy = named_delay("lognormal", label="tail").factory(3)
+        assert isinstance(heavy, LognormalDelay)
+
+    def test_unknown_delay_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NamedDelayFactory("no-such-model", {})
+
+    def test_factory_equality_feeds_cell_memoisation(self):
+        assert NamedDelayFactory("fixed", {}) == NamedDelayFactory("fixed", {})
+        assert NamedDelayFactory("fixed", {}) != NamedDelayFactory("uniform", {})
+
+
+class TestReducerRegistry:
+    def test_builtin_names(self):
+        assert {"aggregate", "robustness", "violations"} <= set(reducer_names())
+
+    def test_named_reducers_resolve(self):
+        from repro.exp.results import RobustnessFold, SweepAggregate
+        from repro.explore import ViolationFold
+
+        assert isinstance(make_reducer("aggregate"), SweepAggregate)
+        assert isinstance(make_reducer("robustness"), RobustnessFold)
+        assert isinstance(make_reducer("violations"), ViolationFold)
+        with pytest.raises(ConfigurationError):
+            make_reducer("no-such-reducer")
+
+    def test_named_reducer_through_run_sweep(self):
+        fold = run_sweep(
+            GridSpec(protocols=["2PC"], systems=[(4, 1)], seeds=range(5)),
+            workers=1,
+            reducer="robustness",
+        )
+        rows = fold.rows()
+        assert rows and rows[0]["protocol"] == "2PC"
