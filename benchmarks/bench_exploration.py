@@ -66,6 +66,42 @@ def test_exploration_batteries(benchmark):
     ))
 
 
+def run_cluster_batteries():
+    """E12 — the cluster-invariant battery: every commit protocol embedded in
+    the db cluster survives crash-point enumeration over all partitions and
+    the client coordinator with zero atomicity/durability/lock-safety
+    violations."""
+    rows = []
+    reports = {}
+    for name in ("2PC", "INBAC", "PaxosCommit", "3PC", "1NBAC"):
+        report = explore(
+            name, n=3, f=1, budget=16,
+            workload=("uniform3", "uniform", {"transactions": 4}),
+            preset="cluster-anomaly", max_time=150.0,
+        )
+        reports[name] = report
+        rows.append(report.summary_row())
+    return rows, reports
+
+
+def test_cluster_invariant_batteries(benchmark):
+    rows, reports = benchmark.pedantic(run_cluster_batteries, rounds=1, iterations=1)
+    for name, report in reports.items():
+        assert not report.errors, (name, report.errors[:1])
+        assert report.violation_count == 0, (
+            name, [v.describe() for v in report.violations],
+        )
+        assert report.meta["preset"] == "cluster-anomaly"
+
+    attach_rows(benchmark, "cluster_invariant_batteries", rows)
+    print()
+    print(render_table(
+        rows,
+        title="E12 — cluster-invariant batteries "
+              "(3 partitions + client, crash-point enumeration)",
+    ))
+
+
 def sweep_exploration_axis():
     """Violation counts folded in aggregate mode over the schedules axis."""
     agg = run_sweep(

@@ -21,16 +21,21 @@
 #   8. a schedule-exploration smoke: a small adversarial budget over INBAC
 #      (zero violations within the resilience bound) and 2PC (the known
 #      coordinator-crash termination violation, shrunk to <= 5 decisions),
-#      plus a replay-determinism check of one stored ScheduleTrace.
+#      plus a replay-determinism check of one stored ScheduleTrace;
+#   9. a cluster-exploration smoke: a tiny cluster-anomaly budget must leave
+#      the cluster-invariant battery (atomicity / durability / lock safety)
+#      clean for a real commit protocol, while the deliberately broken
+#      split-brain coordinator from the test tree is caught and shrunk to a
+#      1-minimal counterexample.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "==> [1/8] tier-1 tests (pytest from the repo root)"
+echo "==> [1/9] tier-1 tests (pytest from the repo root)"
 python -m pytest -x -q
 
-echo "==> [2/8] benchmark collection (must be > 0 tests)"
+echo "==> [2/9] benchmark collection (must be > 0 tests)"
 collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
 if [ "${collected}" -eq 0 ]; then
     echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
@@ -38,7 +43,7 @@ if [ "${collected}" -eq 0 ]; then
 fi
 echo "    collected ${collected} benchmark tests"
 
-echo "==> [3/8] every benchmark is ported onto repro.exp"
+echo "==> [3/9] every benchmark is ported onto repro.exp"
 for bench in benchmarks/bench_*.py; do
     if ! grep -q "from repro\.exp import" "${bench}"; then
         echo "ERROR: ${bench} does not import repro.exp (hand-rolled sweep loop?)" >&2
@@ -47,7 +52,7 @@ for bench in benchmarks/bench_*.py; do
 done
 echo "    all $(ls benchmarks/bench_*.py | wc -l | tr -d ' ') benchmarks import repro.exp"
 
-echo "==> [4/8] aggregate-mode sweep reproduces the in-memory aggregates"
+echo "==> [4/9] aggregate-mode sweep reproduces the in-memory aggregates"
 python - <<'EOF'
 from repro.exp import GridSpec, run_sweep
 from repro.sim.network import UniformDelay
@@ -75,16 +80,16 @@ print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok "
       f"(both trace levels x both folds)")
 EOF
 
-echo "==> [5/8] one fast benchmark"
+echo "==> [5/9] one fast benchmark"
 python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
 
-echo "==> [6/8] examples"
+echo "==> [6/9] examples"
 for example in examples/*.py; do
     echo "--- ${example}"
     python "${example}" > /dev/null
 done
 
-echo "==> [7/8] sweep-throughput perf smoke (fast-path core baseline)"
+echo "==> [7/9] sweep-throughput perf smoke (fast-path core baseline)"
 bench_out=$(mktemp)
 python benchmarks/bench_sweep_throughput.py --quick --out "${bench_out}" > /dev/null
 python - "${bench_out}" <<'EOF'
@@ -106,7 +111,7 @@ print(f"    baseline emitted with {len(baseline['configs'])} configs, "
 EOF
 rm -f "${bench_out}"
 
-echo "==> [8/8] schedule-exploration smoke (adversarial search + replay)"
+echo "==> [8/9] schedule-exploration smoke (adversarial search + replay)"
 python - <<'EOF'
 from repro.explore import ScheduleTrace, explore, replay_trial
 from repro.exp.spec import GridSpec
@@ -138,6 +143,37 @@ assert fingerprints == {violations[0].shrunk_fingerprint}, fingerprints
 print(f"    INBAC: 0 violations in {inbac.schedules_run} schedules; "
       f"2PC: {twopc.violation_count} violations, counterexample of "
       f"{len(shrunk)} decision(s) replays deterministically")
+EOF
+
+echo "==> [9/9] cluster-exploration smoke (invariant battery + injected bug)"
+python - <<'EOF'
+import sys
+sys.path.insert(0, "tests")  # the injected-bug fixture lives in the test tree
+
+from broken_protocols import SplitBrainCommit
+from repro.explore import explore
+
+WORKLOAD = ("uniform3", "uniform", {"transactions": 4})
+
+# the real protocol survives crash-point enumeration over every partition
+# and the client coordinator with a clean invariant battery
+clean = explore("INBAC", n=3, f=1, budget=16, workload=WORKLOAD,
+                preset="cluster-anomaly", max_time=150.0)
+assert not clean.errors, clean.errors[:1]
+assert clean.violation_count == 0, [v.describe() for v in clean.violations]
+
+# the split-brain fixture must be caught (atomicity: one partition applies a
+# transaction another aborted) and shrunk to a single crash decision
+broken = explore(("SplitBrain2PC", SplitBrainCommit), n=3, f=1, budget=16,
+                 workload=WORKLOAD, preset="cluster-anomaly", max_time=150.0)
+assert not broken.errors, broken.errors[:1]
+hits = broken.violations_of("agreement")
+assert hits, "the split-brain atomicity bug was not found"
+assert any("committed on partitions" in d for d in hits[0].details), hits[0]
+assert hits[0].shrunk is not None and len(hits[0].shrunk) == 1, hits[0].shrunk
+print(f"    INBAC: battery clean over {clean.schedules_run} schedules; "
+      f"SplitBrain2PC: {broken.violation_count} violations, shrunk to "
+      f"{len(hits[0].shrunk)} decision")
 EOF
 
 echo "smoke: OK"

@@ -21,11 +21,26 @@ the outcome.  This package is that substrate:
   the discrete-event scheduler together and reporting latency and message
   statistics per commit protocol;
 * :mod:`repro.db.conflict` — a Helios-style cross-datacenter conflict
-  detector used by the examples.
+  detector used by the examples;
+* :mod:`repro.db.invariants` — executable cross-layer invariants (transaction
+  atomicity, WAL-replay durability, lock-table safety) checked on the final
+  partition state of every cluster run.  Together with the cluster's
+  schedule-controller hook (``ClusterConfig.controller``) this is what lets
+  :func:`repro.explore.explore` hunt transaction anomalies: pass a
+  ``workload=`` and ``preset="cluster-anomaly"`` to enumerate coordinator-
+  and partition-crash points, replay any hit from ``(strategy, seed,
+  decisions)`` and shrink it to a 1-minimal counterexample.
 """
 
 from repro.db.cluster import ClusterConfig, ClusterReport, TransactionOutcome, run_cluster
 from repro.db.conflict import ConflictDetector
+from repro.db.invariants import (
+    InvariantReport,
+    check_atomicity,
+    check_cluster,
+    check_durability,
+    check_lock_safety,
+)
 from repro.db.locks import LockManager, LockMode
 from repro.db.store import VersionedStore
 from repro.db.transaction import Operation, Transaction
@@ -35,6 +50,7 @@ __all__ = [
     "ClusterConfig",
     "ClusterReport",
     "ConflictDetector",
+    "InvariantReport",
     "LockManager",
     "LockMode",
     "Operation",
@@ -43,5 +59,9 @@ __all__ = [
     "VersionedStore",
     "WalRecord",
     "WriteAheadLog",
+    "check_atomicity",
+    "check_cluster",
+    "check_durability",
+    "check_lock_safety",
     "run_cluster",
 ]

@@ -4,17 +4,30 @@
 processes and one :class:`~repro.db.coordinator.ClientCoordinator` onto the
 discrete-event scheduler, runs a transaction workload with the configured
 commit protocol, and returns a :class:`ClusterReport` with per-transaction
-outcomes and message statistics.  The database benchmark (experiment E7) runs
-this once per commit protocol and compares commit latency and message volume.
+outcomes, message statistics and the cluster-invariant battery
+(:mod:`repro.db.invariants`) evaluated on the final partition state.  The
+database benchmark (experiment E7) runs this once per commit protocol and
+compares commit latency and message volume.
+
+A run may also be placed under a schedule controller
+(:class:`~repro.explore.ScheduleController`, via ``ClusterConfig.controller``):
+the controller sees every scheduler event of the cluster — client submissions,
+``EXEC`` deliveries, embedded commit-protocol messages and timers — and may
+defer deliveries or inject crashes into partitions *and* the client
+coordinator, exactly as it does for bare protocol runs.  Applied decisions are
+recorded on the report (``schedule_decisions``) together with the trace
+fingerprint, so every controlled cluster run replays byte-identically from
+its ``(strategy, seed, decisions)`` triple.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Type, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.db.coordinator import ClientCoordinator, TransactionOutcome
+from repro.db.invariants import InvariantReport, check_cluster
 from repro.db.partition import PartitionServer
 from repro.db.transaction import Transaction
 from repro.errors import ConfigurationError
@@ -41,6 +54,10 @@ class ClusterConfig:
     #: "full" keeps per-message records; "counters" runs the scheduler's
     #: counters level (identical report statistics, no MessageRecord churn)
     trace_level: str = "full"
+    #: optional schedule controller (see :mod:`repro.explore`): single-use,
+    #: consulted on every scheduler event, may defer deliveries and inject
+    #: crashes within the scheduler's fault budget
+    controller: Optional[Any] = None
 
     def resolve_protocol(self) -> type:
         if isinstance(self.commit_protocol, str):
@@ -69,6 +86,27 @@ class ClusterReport:
     #: paper's best-case accounting); equals messages_total when no
     #: transaction decided
     messages_until_last_decision: int = 0
+    #: the run's execution class including schedule-controller effects
+    #: (a controller deferring past the bound or injecting crashes upgrades
+    #: the class exactly as it does for bare protocol runs)
+    execution_class: str = "failure-free"
+    #: pid -> crash time for every crash that actually happened, fault-plan
+    #: and schedule-injected alike (partitions and the client coordinator)
+    crashes: Dict[int, float] = field(default_factory=dict)
+    #: the cluster-invariant battery (atomicity / durability / lock safety)
+    #: evaluated on the final partition state; see :mod:`repro.db.invariants`
+    invariants: Optional[InvariantReport] = None
+    #: transaction ids without an outcome at the client, in workload order
+    pending_transactions: List[str] = field(default_factory=list)
+    #: pid -> transactions prepared on that partition without a logged
+    #: outcome (the partitions an anomaly left blocked); empty lists omitted
+    in_doubt_by_partition: Dict[int, List[str]] = field(default_factory=dict)
+    #: schedule-controller decisions that applied, as (step, kind, arg)
+    #: tuples — empty for uncontrolled runs
+    schedule_decisions: List[Tuple[int, str, Any]] = field(default_factory=list)
+    #: canonical trace fingerprint; only computed for controlled runs, where
+    #: it backs the replay-determinism guarantee
+    trace_fingerprint: Optional[str] = None
 
     # -- aggregates -------------------------------------------------------- #
     @property
@@ -136,6 +174,7 @@ def run_cluster(
         max_time=config.max_time,
         protocol_name=f"db/{config.protocol_label()}",
         trace_level=config.trace_level,
+        controller=config.controller,
     )
     protocol_cls = config.resolve_protocol()
 
@@ -178,11 +217,14 @@ def run_cluster(
         else trace.message_count()
     )
 
+    partition_servers = {
+        pid: scheduler.processes[pid] for pid in range(1, partitions + 1)
+    }
     partition_stats = {
-        pid: dict(scheduler.processes[pid].statistics) for pid in range(1, partitions + 1)
+        pid: dict(server.statistics) for pid, server in partition_servers.items()
     }
     store_snapshots = {
-        pid: scheduler.processes[pid].store.snapshot() for pid in range(1, partitions + 1)
+        pid: server.store.snapshot() for pid, server in partition_servers.items()
     }
     return ClusterReport(
         protocol=config.protocol_label(),
@@ -194,4 +236,19 @@ def run_cluster(
         partition_stats=partition_stats,
         store_snapshots=store_snapshots,
         messages_until_last_decision=messages_until_last,
+        execution_class=scheduler.execution_class(),
+        crashes=dict(trace.crashes),
+        invariants=check_cluster(partition_servers),
+        pending_transactions=client.pending_transactions(),
+        in_doubt_by_partition={
+            pid: in_doubt
+            for pid, server in partition_servers.items()
+            if (in_doubt := server.in_doubt_transactions())
+        },
+        schedule_decisions=list(scheduler.applied_schedule_actions),
+        # the fingerprint is O(trace); only controlled runs need it (replay
+        # determinism), uncontrolled sweeps keep the fast path
+        trace_fingerprint=(
+            trace.fingerprint() if config.controller is not None else None
+        ),
     )

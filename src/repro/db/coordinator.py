@@ -126,3 +126,18 @@ class ClientCoordinator(Process):
 
     def completed_outcomes(self) -> List[TransactionOutcome]:
         return [o for o in self.outcomes.values() if o.completed]
+
+    def pending_transactions(self) -> List[str]:
+        """Transaction ids without a recorded outcome, in workload order.
+
+        Covers both submitted-but-undecided transactions and transactions
+        never submitted at all (e.g. because this coordinator was crashed by
+        a schedule controller before their submit timer fired) — the raw
+        material for termination-anomaly reports.
+        """
+        return [
+            txn.txn_id
+            for txn in self.workload
+            if txn.txn_id not in self.outcomes
+            or not self.outcomes[txn.txn_id].completed
+        ]

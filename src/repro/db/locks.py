@@ -106,6 +106,15 @@ class LockManager:
         lock = self._locks.get(key)
         return set(lock.holders) if lock else set()
 
+    def mode_of(self, key: str) -> "LockMode | None":
+        """The mode ``key`` is currently held in, or ``None`` when free.
+
+        Exposed for the lock-safety invariant (:mod:`repro.db.invariants`):
+        a key with more than one holder must be in SHARED mode.
+        """
+        lock = self._locks.get(key)
+        return lock.mode if lock and lock.holders else None
+
     def keys_held_by(self, txn_id: str) -> Set[str]:
         return set(self._held_by_txn.get(txn_id, set()))
 

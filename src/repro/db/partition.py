@@ -133,6 +133,18 @@ class PartitionServer(Process):
         self.statistics = {"prepared": 0, "committed": 0, "aborted": 0, "vote_no": 0}
 
     # ------------------------------------------------------------------ #
+    # inspection (anomaly reports)
+    # ------------------------------------------------------------------ #
+    def in_doubt_transactions(self) -> List[str]:
+        """Transactions prepared here without a logged outcome.
+
+        Non-empty after a run exactly when the embedded commit protocol left
+        this partition blocked (or the run was cut off mid-flight) — the
+        data-layer face of a termination violation.
+        """
+        return self.wal.in_doubt()
+
+    # ------------------------------------------------------------------ #
     # event handlers
     # ------------------------------------------------------------------ #
     def on_propose(self, value: Any) -> None:  # pragma: no cover - not used

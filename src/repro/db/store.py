@@ -89,5 +89,21 @@ class VersionedStore:
         """Latest value of every key (used by tests and examples)."""
         return {key: versions[-1].value for key, versions in self._data.items()}
 
+    def transactions_applied(self) -> List[str]:
+        """Sorted distinct transaction ids with at least one committed version.
+
+        The atomicity invariant (:mod:`repro.db.invariants`) cross-checks
+        this against the WAL: a store must never contain versions of a
+        transaction whose logged outcome is ABORT.
+        """
+        return sorted(
+            {
+                record.txn_id
+                for versions in self._data.values()
+                for record in versions
+                if record.txn_id is not None
+            }
+        )
+
     def __len__(self) -> int:
         return len(self._data)

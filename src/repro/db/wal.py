@@ -22,13 +22,22 @@ ABORT = "ABORT"
 
 @dataclass
 class WalRecord:
-    """One append-only log record."""
+    """One append-only log record.
+
+    ``torn`` marks a record whose append was interrupted by a crash (a torn
+    final write).  Torn records are kept in the log for inspection but are
+    invisible to recovery: :meth:`WriteAheadLog.replay`,
+    :meth:`~WriteAheadLog.outcome_of` and :meth:`~WriteAheadLog.in_doubt`
+    all skip them, exactly as a checksum-failing tail record would be
+    discarded by a real recovery pass.
+    """
 
     lsn: int
     kind: str
     txn_id: str
     writes: Dict[str, object] = field(default_factory=dict)
     timestamp: float = 0.0
+    torn: bool = False
 
 
 class WriteAheadLog:
@@ -56,29 +65,63 @@ class WriteAheadLog:
         self._records.append(record)
         return record
 
+    def tear_final_record(self) -> Optional[WalRecord]:
+        """Mark the final record torn, simulating a crash mid-append.
+
+        Recovery (``replay`` / ``outcome_of`` / ``in_doubt``) treats a torn
+        record as if it had never been written; returns the torn record, or
+        ``None`` on an empty log.
+        """
+        if not self._records:
+            return None
+        self._records[-1].torn = True
+        return self._records[-1]
+
     def records(self) -> List[WalRecord]:
         return list(self._records)
 
     def records_for(self, txn_id: str) -> List[WalRecord]:
         return [r for r in self._records if r.txn_id == txn_id]
 
+    def transaction_ids(self) -> List[str]:
+        """Distinct transaction ids with at least one intact record, in
+        first-appearance order — a recovery-inspection helper (the invariant
+        battery builds its own txn -> outcome view in one pass instead)."""
+        seen: Dict[str, None] = {}
+        for record in self._records:
+            if not record.torn:
+                seen.setdefault(record.txn_id)
+        return list(seen)
+
     def outcome_of(self, txn_id: str) -> Optional[str]:
         """COMMIT / ABORT if decided, None if only prepared (in doubt)."""
         for record in reversed(self._records):
+            if record.torn:
+                continue
             if record.txn_id == txn_id and record.kind in (COMMIT, ABORT):
                 return record.kind
         return None
 
     def in_doubt(self) -> List[str]:
         """Transactions prepared on this partition without a recorded outcome."""
-        prepared = [r.txn_id for r in self._records if r.kind == PREPARE]
+        prepared = [
+            r.txn_id for r in self._records if r.kind == PREPARE and not r.torn
+        ]
         return [txn for txn in prepared if self.outcome_of(txn) is None]
 
     def replay(self, store: Optional[VersionedStore] = None) -> VersionedStore:
-        """Rebuild the committed store state from the log."""
+        """Rebuild the committed store state from the log.
+
+        Replaying an empty log returns an empty store; torn records are
+        skipped; replaying the same log twice into the same store is
+        idempotent at the snapshot level (committed values are re-applied,
+        never changed).
+        """
         store = store if store is not None else VersionedStore()
         prepared: Dict[str, Dict[str, object]] = {}
         for record in self._records:
+            if record.torn:
+                continue
             if record.kind == PREPARE:
                 prepared[record.txn_id] = record.writes
             elif record.kind == COMMIT:

@@ -69,7 +69,15 @@ Design constraints, in order:
    battery (``n`` partitions, the protocol axis embedded as the commit
    protocol, the workload's transactions as the load) instead of a bare
    protocol execution, and condenses the
-   :class:`~repro.db.cluster.ClusterReport` into the same TrialResult shape.
+   :class:`~repro.db.cluster.ClusterReport` into the same TrialResult shape
+   — including the cluster-invariant battery (atomicity/durability/lock
+   safety, :mod:`repro.db.invariants`) mapped onto the property flags.  A
+   cluster trial may additionally carry a
+   :class:`~repro.exp.spec.ScheduleSpec`: the whole cluster then runs under
+   the schedule controller (deferred deliveries, injected crashes into
+   partitions or the client coordinator) and records the same replayable
+   ``schedule_trace`` / ``trace_fingerprint`` extras as a controlled
+   protocol trial.
 
 8. **Per-cell setup amortisation.**  Trials of one grid cell differ only in
    their seed, and the expansion order keeps a cell's trials contiguous, so
@@ -262,22 +270,25 @@ def _run_cluster_trial(
     The mapping onto the TrialResult shape: ``decisions`` holds one entry per
     transaction (txn id -> commit/abort decision), ``decision_latencies`` the
     per-transaction commit latencies, and ``termination`` whether every
-    transaction completed.  Agreement/validity checking applies to bare
-    protocol trials; cluster trials leave them True.  The full
-    ``ClusterReport.summary_row`` lands in ``extra``.
+    transaction completed.  The property flags carry the cluster-invariant
+    battery (:mod:`repro.db.invariants`): ``agreement`` is transaction
+    atomicity, ``validity`` is WAL-replay durability AND lock-table safety —
+    always True for a correct commit protocol, so the flags only flip when a
+    schedule (or a bug) produces an actual anomaly.  The full
+    ``ClusterReport.summary_row`` lands in ``extra``; a trial carrying a
+    :class:`~repro.exp.spec.ScheduleSpec` runs under the schedule controller
+    and additionally records its replayable ``schedule_trace`` and
+    ``trace_fingerprint``, exactly like a controlled protocol trial.
     """
     # imported lazily: repro.db pulls in the whole store/partition stack,
     # which bare protocol sweeps never need
     from repro.db.cluster import ClusterConfig, run_cluster
 
     try:
-        if trial.schedule is not None:
-            raise ConfigurationError(
-                "cluster (workload) trials do not take a schedule controller"
-            )
         seed = trial.derived_seed
         delay_model = trial.delay.factory(seed)
         fault_plan = trial.fault.factory()
+        controller = trial.schedule.build(seed) if trial.schedule is not None else None
         config = ClusterConfig(
             num_partitions=trial.n,
             commit_protocol=trial.protocol.cls,
@@ -288,6 +299,7 @@ def _run_cluster_trial(
             seed=seed,
             max_time=trial.max_time,
             trace_level=trace_level,
+            controller=controller,
         )
         transactions = trial.workload.factory(trial.n, seed)
         report = run_cluster(config, transactions)
@@ -295,7 +307,7 @@ def _run_cluster_trial(
         base.error = traceback.format_exc(limit=8)
         return base
 
-    base.execution_class = fault_plan.execution_class(delay_model.bound())
+    base.execution_class = report.execution_class
     base.decisions = {o.txn_id: o.decision for o in report.outcomes}
     base.decision_latencies = sorted(report.commit_latencies())
     if base.decision_latencies:
@@ -305,10 +317,31 @@ def _run_cluster_trial(
     base.messages_main = report.messages_by_module.get("main", 0)
     base.messages_consensus = base.messages_total - base.messages_main
     base.messages_until_last_decision = report.messages_until_last_decision
-    base.termination = report.incomplete == 0
-    base.crashes = dict(fault_plan.crashes)
+    # pending_transactions also covers transactions never submitted (a crashed
+    # client coordinator), which report.incomplete — submitted-only — misses
+    base.termination = not report.pending_transactions
+    # realised crashes, schedule-injected ones included — the same accounting
+    # protocol trials get from trace.crashes
+    base.crashes = dict(report.crashes)
+    invariants = report.invariants
+    if invariants is not None:
+        base.agreement = invariants.atomicity
+        base.validity = invariants.durability and invariants.lock_safety
     summary = report.summary_row()
     summary["protocol"] = trial.protocol.label  # the sweep's label, not the class name
+    if invariants is not None and not invariants.holds:
+        summary["invariant_violations"] = list(invariants.violations)
+    if controller is not None:
+        # same replayable extras as a controlled protocol trial
+        from repro.explore.schedule import ScheduleTrace
+
+        summary["schedule_trace"] = ScheduleTrace(
+            strategy=trial.schedule.strategy,
+            seed=seed,
+            params=trial.schedule.strategy_params(),
+            decisions=report.schedule_decisions,
+        ).to_jsonable()
+        summary["trace_fingerprint"] = report.trace_fingerprint
     base.extra = summary
     if collector is not None:
         try:

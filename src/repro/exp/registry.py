@@ -11,6 +11,11 @@ from registry names pickles by construction.
 * :func:`named_delay` / ``delays=["uniform", ...]`` — delay-model factories
   (``fixed``, ``uniform``, ``lognormal`` built in, extensible via
   :func:`register_delay_model`);
+* :func:`named_workload` / ``workloads=["uniform", ...]`` — transaction
+  workload factories for cluster trials (``uniform``, ``hotspot``,
+  ``bank-transfer`` built in, extensible via :func:`register_workload`);
+  the builder receives ``(n, seed)`` — the trial's partition count and
+  derived seed — plus the registered parameters;
 * :func:`make_reducer` / ``run_sweep(reducer="violations")`` — streaming
   sinks by name (``aggregate``, ``robustness``, ``violations``);
 * schedule strategies are registry-named at the source (see
@@ -131,6 +136,118 @@ def named_delay(name: str, label: str = None, **params: Any):
             name, ",".join(f"{k}={v}" for k, v in sorted(params.items()))
         )
     return DelaySpec(label=label, factory=NamedDelayFactory(name, params))
+
+
+# --------------------------------------------------------------------------- #
+# transaction workloads
+# --------------------------------------------------------------------------- #
+
+#: name -> builder(n, seed, **params) -> sequence of Transactions
+_WORKLOAD_BUILDERS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_workload(name: str, builder: Callable[..., Any]) -> None:
+    """Register a transaction-workload builder callable under ``name``.
+
+    The builder receives the trial's partition count and derived seed as its
+    first two arguments plus the keyword parameters given to
+    :func:`named_workload`, and returns the transaction sequence; it must be
+    a module-level callable for the registration to be spawn-safe.
+    """
+    _WORKLOAD_BUILDERS[name] = builder
+
+
+def workload_names() -> List[str]:
+    return list(_WORKLOAD_BUILDERS)
+
+
+def _build_uniform_txns(n: int, seed: int, transactions: int = 6, **params: Any):
+    from repro.workloads.transactions import uniform_workload
+
+    params.setdefault("participants_per_txn", min(3, n))
+    return uniform_workload(transactions, n, seed=seed, **params).transactions
+
+
+def _build_hotspot_txns(n: int, seed: int, transactions: int = 6, **params: Any):
+    from repro.workloads.transactions import hotspot_workload
+
+    params.setdefault("participants_per_txn", min(2, n))
+    return hotspot_workload(transactions, n, seed=seed, **params).transactions
+
+
+def _build_bank_transfer_txns(
+    n: int, seed: int, transactions: int = 6, **params: Any
+):
+    from repro.workloads.transactions import bank_transfer_workload
+
+    return bank_transfer_workload(transactions, n, seed=seed, **params).transactions
+
+
+register_workload("uniform", _build_uniform_txns)
+register_workload("hotspot", _build_hotspot_txns)
+register_workload("bank-transfer", _build_bank_transfer_txns)
+
+
+class NamedWorkloadFactory:
+    """A picklable ``factory(n, seed) -> transactions`` resolved by name.
+
+    The exact analogue of :class:`NamedDelayFactory` for the workload axis:
+    instances carry only the registry name and plain-data parameters, so a
+    :class:`~repro.exp.spec.WorkloadSpec` built from one crosses a ``spawn``
+    process boundary, and equal factories compare equal (feeding the
+    engine's per-cell memoisation).
+    """
+
+    __slots__ = ("name", "params")
+
+    def __init__(self, name: str, params: Dict[str, Any]):
+        if name not in _WORKLOAD_BUILDERS:
+            known = ", ".join(sorted(_WORKLOAD_BUILDERS))
+            raise ConfigurationError(
+                f"unknown workload {name!r}; known: {known}"
+            )
+        self.name = name
+        self.params = dict(params)
+
+    def __call__(self, n: int, seed: int):
+        try:
+            builder = _WORKLOAD_BUILDERS[self.name]
+        except KeyError:
+            known = ", ".join(sorted(_WORKLOAD_BUILDERS))
+            raise ConfigurationError(
+                f"workload {self.name!r} is not registered in this process "
+                f"(known: {known}); under the spawn start method, "
+                f"register_workload must run at import time so workers "
+                f"re-register it"
+            ) from None
+        return builder(n, seed, **self.params)
+
+    def __getstate__(self):
+        return (self.name, self.params)
+
+    def __setstate__(self, state):
+        self.name, self.params = state
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, NamedWorkloadFactory)
+            and other.name == self.name
+            and other.params == self.params
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(sorted(self.params.items()))))
+
+
+def named_workload(name: str, label: str = None, **params: Any):
+    """A spawn-safe :class:`~repro.exp.spec.WorkloadSpec` from a registry name."""
+    from repro.exp.spec import WorkloadSpec
+
+    if label is None:
+        label = name if not params else "{}({})".format(
+            name, ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+        )
+    return WorkloadSpec(label=label, factory=NamedWorkloadFactory(name, params))
 
 
 # --------------------------------------------------------------------------- #

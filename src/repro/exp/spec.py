@@ -241,7 +241,7 @@ ProtocolLike = Union[str, type, Tuple[str, type], ProtocolSpec]
 DelayLike = Union[None, str, DelayModel, Tuple[str, Callable[..., DelayModel]], DelaySpec]
 FaultLike = Union[None, FaultPlan, Tuple[str, Union[FaultPlan, Callable[[], FaultPlan]]], FaultSpec]
 VoteLike = Union[str, Tuple[str, Callable[[int], List[int]]], VoteSpec]
-WorkloadLike = Union[None, Tuple[str, Any], WorkloadSpec]
+WorkloadLike = Union[None, str, Tuple[str, Any], WorkloadSpec]
 ScheduleLike = Union[None, str, Tuple[str, str], Tuple[str, str, Dict[str, Any]], ScheduleSpec]
 
 _NAMED_PATTERNS: Dict[str, Callable[[int], List[int]]] = {
@@ -455,8 +455,27 @@ def coerce_workload(value: WorkloadLike) -> Optional[WorkloadSpec]:
         return None
     if isinstance(value, WorkloadSpec):
         return value
+    if isinstance(value, str):
+        # a registry name: always spawn-safe (see repro.exp.registry)
+        from repro.exp.registry import named_workload
+
+        return named_workload(value)
     if isinstance(value, tuple):
+        if len(value) == 3:
+            label, name, params = value
+            if not isinstance(name, str) or not isinstance(params, dict):
+                raise ConfigurationError(
+                    f"cannot interpret {value!r} as a workload axis value: a "
+                    f"3-tuple must be (label, registry_name, params_dict)"
+                )
+            from repro.exp.registry import named_workload
+
+            return named_workload(name, label=label, **params)
         label, source = value
+        if isinstance(source, str):
+            from repro.exp.registry import named_workload
+
+            return named_workload(source, label=label)
         return WorkloadSpec(label=label, factory=_workload_factory(source))
     raise ConfigurationError(f"cannot interpret {value!r} as a workload axis value")
 
@@ -617,19 +636,21 @@ class GridSpec:
             raise ConfigurationError(f"duplicate protocol labels in grid: {labels}")
         # cluster trials derive their votes from lock conflicts, so crossing a
         # workload with a multi-valued votes axis would just replay identical
-        # cluster runs under different vote labels — misleading, not useful
+        # cluster runs under different vote labels — misleading, not useful.
+        # (schedules x workloads, by contrast, is a supported grid: a cluster
+        # trial carrying a ScheduleSpec runs under the schedule controller.)
         if any(w is not None for w in self._workload_specs) and len(self._vote_specs) > 1:
+            workload_labels = [
+                w.label for w in self._workload_specs if w is not None
+            ]
+            vote_labels = [v.label for v in self._vote_specs]
             raise ConfigurationError(
-                "a workload axis cannot be combined with a multi-valued votes "
-                "axis: votes do not apply to cluster trials (they come from "
-                "lock conflicts); sweep the votes axis in a separate grid"
-            )
-        if any(w is not None for w in self._workload_specs) and any(
-            s is not None for s in self._schedule_specs
-        ):
-            raise ConfigurationError(
-                "a schedules axis cannot be combined with a workload axis: "
-                "cluster batteries do not take a schedule controller"
+                f"unsupported axis combination: workloads={workload_labels!r} "
+                f"cannot be crossed with the multi-valued votes axis "
+                f"votes={vote_labels!r} — cluster trials derive their votes "
+                f"from lock conflicts inside the partitions, so every vote "
+                f"label would replay the identical cluster run; sweep the "
+                f"votes axis in a separate, workload-free grid"
             )
 
     @property

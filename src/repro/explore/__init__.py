@@ -19,7 +19,12 @@ scenarios; this package *searches* the execution space:
   through :func:`repro.exp.run_sweep` (the ``schedules`` axis fans out over
   the existing process pool), checks every execution against
   :mod:`repro.core.properties` (optionally cell-aware), and greedily shrinks
-  violating schedules to minimal counterexamples.
+  violating schedules to minimal counterexamples.  Passing a ``workload=``
+  hunts *transaction anomalies* instead: every schedule drives a full
+  :mod:`repro.db` cluster and is checked against the cluster-invariant
+  battery (:mod:`repro.db.invariants` — atomicity, WAL-replay durability,
+  lock safety); ``preset="cluster-anomaly"`` enumerates crash points over
+  every partition and the client coordinator.
 * :mod:`repro.explore.fold` — :class:`ViolationFold`, the bounded-memory
   reducer for huge exploration budgets (``reducer="violations"``).
 
@@ -37,6 +42,8 @@ minimal counterexample: 1 decisions
 """
 
 from repro.explore.driver import (
+    CLUSTER_SAFETY_PROPS,
+    EXPLORATION_PRESETS,
     ExplorationReport,
     Violation,
     explore,
@@ -62,7 +69,9 @@ from repro.explore.strategies import (
 )
 
 __all__ = [
+    "CLUSTER_SAFETY_PROPS",
     "DECISION_KINDS",
+    "EXPLORATION_PRESETS",
     "STRATEGIES",
     "CrashPoint",
     "DelayReorder",

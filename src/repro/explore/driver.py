@@ -46,7 +46,22 @@ _PROP_BY_NAME = {
     "A": Prop.AGREEMENT,
     "V": Prop.VALIDITY,
     "T": Prop.TERMINATION,
+    # cluster-invariant aliases: for workload trials the engine maps the
+    # repro.db.invariants battery onto the property flags (atomicity ->
+    # agreement, durability & lock safety -> validity), so the invariants
+    # can be named directly when hunting transaction anomalies
+    "atomicity": Prop.AGREEMENT,
+    "durability": Prop.VALIDITY,
+    "lock-safety": Prop.VALIDITY,
 }
+
+#: default required properties for cluster (workload) exploration: the
+#: safety invariants only — an injected crash legitimately leaves in-doubt
+#: transactions behind, so termination is opt-in (properties=..., or cell=)
+CLUSTER_SAFETY_PROPS = frozenset({Prop.AGREEMENT, Prop.VALIDITY})
+
+#: exploration presets: named search plans expanded by :func:`explore`
+EXPLORATION_PRESETS = ("cluster-anomaly",)
 
 
 def _coerce_properties(properties: Optional[Sequence[Union[str, Prop]]]):
@@ -86,13 +101,18 @@ class Violation:
     shrunk: Optional[ScheduleTrace] = None
     #: fingerprint of the shrunk schedule's execution
     shrunk_fingerprint: Optional[str] = None
+    #: cluster-invariant violation details (empty for bare protocol trials):
+    #: the repro.db.invariants strings naming partitions, transactions, keys
+    details: Tuple[str, ...] = ()
 
     def describe(self) -> str:
         lines = [
             f"violated: {', '.join(self.properties)} "
             f"({self.execution_class} execution, seed {self.base_seed})",
-            f"explored schedule: {len(self.schedule)} decisions",
         ]
+        for detail in self.details:
+            lines.append(f"  {detail}")
+        lines.append(f"explored schedule: {len(self.schedule)} decisions")
         minimal = self.shrunk if self.shrunk is not None else self.schedule
         lines.append(f"minimal counterexample: {len(minimal)} decisions")
         for line in minimal.describe():
@@ -205,6 +225,29 @@ def _schedule_specs(
     return [spec], list(range(budget))
 
 
+def _cluster_anomaly_specs(
+    budget: int, n: int
+) -> Tuple[List[ScheduleSpec], List[int]]:
+    """The ``cluster-anomaly`` preset: crash-point enumeration over the cluster.
+
+    Enumerates ``(pid, point)`` crash points over every partition (``1..n``)
+    *and* the client coordinator (``n + 1``), point-major so a small budget
+    still covers every process at the earliest phase boundaries.  Each spec
+    injects exactly one crash, so a violating schedule is already near its
+    1-minimal counterexample before shrinking even starts.
+    """
+    pids = list(range(1, n + 2))
+    points = max(2, -(-budget // len(pids)))  # ceil(budget / processes)
+    specs = [
+        coerce_schedule(
+            (f"crash[P{pid}@{point}]", "crash-point", {"pid": pid, "point": point})
+        )
+        for point in range(points)
+        for pid in pids
+    ]
+    return specs[:budget], [0]
+
+
 def explore(
     protocol: Any,
     n: int,
@@ -213,11 +256,13 @@ def explore(
     *,
     strategy: str = "random-walk",
     params: Optional[Dict[str, Any]] = None,
+    preset: Optional[str] = None,
     properties: Optional[Sequence[Union[str, Prop]]] = None,
     cell: Optional[PropertyPair] = None,
     votes: Any = "all-yes",
     delay: Any = None,
     fault: Any = None,
+    workload: Any = None,
     seed: int = 0,
     max_time: float = 500.0,
     workers: Optional[int] = 1,
@@ -232,15 +277,52 @@ def explore(
     properties, and greedily shrinks up to ``max_counterexamples`` violating
     schedules to minimal counterexamples.
 
-    Parameters mirror the sweep axes: ``votes`` / ``delay`` / ``fault`` take
-    any axis shorthand :class:`~repro.exp.spec.GridSpec` accepts.  Pass
+    Parameters mirror the sweep axes: ``votes`` / ``delay`` / ``fault`` /
+    ``workload`` take any axis shorthand
+    :class:`~repro.exp.spec.GridSpec` accepts.  Pass
     ``properties=("termination",)`` to hunt one property, or ``cell=`` to
     check a protocol against its own problem cell (class-aware requirements).
+
+    Passing a ``workload`` turns the search into a *transaction-anomaly*
+    hunt: every schedule drives a full :mod:`repro.db` cluster (``n``
+    partitions, the protocol embedded as the commit layer), and the checked
+    properties default to the cluster-invariant battery
+    (:mod:`repro.db.invariants` — atomicity and durability/lock safety;
+    termination is opt-in because injected crashes legitimately leave
+    in-doubt transactions).  ``preset="cluster-anomaly"`` replaces the
+    seeded strategy with deterministic crash-point enumeration over every
+    partition and the client coordinator.
     """
     if budget < 1:
         raise ConfigurationError(f"budget must be positive, got {budget}")
     props = _coerce_properties(properties)
-    schedules, seed_axis = _schedule_specs(strategy, params, budget, n)
+    if props is None and cell is None and workload is not None:
+        props = CLUSTER_SAFETY_PROPS
+    if preset is not None:
+        if preset not in EXPLORATION_PRESETS:
+            known = ", ".join(EXPLORATION_PRESETS)
+            raise ConfigurationError(
+                f"unknown exploration preset {preset!r}; known: {known}"
+            )
+        if strategy != "random-walk" or params:
+            # a preset replaces the strategy wholesale; silently discarding
+            # an explicit strategy/params would misreport what was searched
+            raise ConfigurationError(
+                f"preset={preset!r} defines the search plan itself and cannot "
+                f"be combined with strategy={strategy!r} / params={params!r}; "
+                f"drop the preset or the strategy arguments"
+            )
+        if workload is None:
+            raise ConfigurationError(
+                "preset='cluster-anomaly' explores cluster trials; pass a "
+                "workload= (any GridSpec workloads-axis shorthand, e.g. "
+                "'uniform' or ('name', factory))"
+            )
+        schedules, seed_axis = _cluster_anomaly_specs(budget, n)
+        strategy_label = preset
+    else:
+        schedules, seed_axis = _schedule_specs(strategy, params, budget, n)
+        strategy_label = strategy
     base_seeds = [seed + s for s in seed_axis]
     grid = GridSpec(
         protocols=[protocol],
@@ -248,6 +330,7 @@ def explore(
         delays=[delay],
         faults=[fault],
         votes=[votes],
+        workloads=[workload],
         schedules=schedules,
         seeds=base_seeds,
         max_time=max_time,
@@ -260,10 +343,12 @@ def explore(
         protocol=trials[0].protocol.label if trials else str(protocol),
         n=n,
         f=f,
-        strategy=strategy,
+        strategy=strategy_label,
         schedules_run=len(trials),
         meta=dict(sweep.meta),
     )
+    if preset is not None:
+        report.meta["preset"] = preset
     trials_by_index = {t.index: t for t in trials}
     for result in sweep:
         if result.error is not None:
@@ -281,6 +366,7 @@ def explore(
             properties=violated,
             schedule=schedule,
             fingerprint=result.extra["trace_fingerprint"],
+            details=tuple(result.extra.get("invariant_violations", ())),
         )
         report.violations.append(violation)
     if shrink:
@@ -371,4 +457,9 @@ def shrink_violation(
         decisions=current.decisions,
     )
     violation.shrunk_fingerprint = current_result.extra["trace_fingerprint"]
+    # re-read the invariant details from the *shrunk* run: dropping decisions
+    # may have changed which transactions/partitions the violation names
+    violation.details = tuple(
+        current_result.extra.get("invariant_violations", ())
+    )
     return violation

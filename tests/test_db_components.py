@@ -213,6 +213,61 @@ class TestWriteAheadLog:
         assert len(wal) == 2
         assert [r.kind for r in wal.records_for("t1")] == [PREPARE, ABORT]
 
+    # -- the edge cases the durability invariant leans on ----------------- #
+    def test_replay_of_an_empty_log_is_an_empty_store(self):
+        store = WriteAheadLog().replay()
+        assert store.snapshot() == {}
+        assert len(store) == 0
+        assert WriteAheadLog().tear_final_record() is None
+
+    def test_torn_final_commit_is_invisible_to_recovery(self):
+        # a crash mid-append leaves a torn COMMIT tail: recovery must treat
+        # the transaction as in doubt, not as committed
+        wal = WriteAheadLog()
+        wal.append(PREPARE, "t1", writes={"x": 1})
+        wal.append(COMMIT, "t1", writes={"x": 1})
+        wal.append(PREPARE, "t2", writes={"y": 2})
+        torn = wal.tear_final_record()
+        wal.append(COMMIT, "t2", writes={"y": 2})
+        wal.tear_final_record()
+        assert torn.torn
+        assert wal.outcome_of("t1") == COMMIT
+        assert wal.outcome_of("t2") is None
+        assert wal.in_doubt() == []  # t2's PREPARE is torn too: never happened
+        assert wal.replay().snapshot() == {"x": 1}
+        assert wal.transaction_ids() == ["t1"]
+
+    def test_torn_prepare_leaves_an_intact_earlier_prepare_in_doubt(self):
+        wal = WriteAheadLog()
+        wal.append(PREPARE, "t1", writes={"x": 1})
+        wal.append(PREPARE, "t2", writes={"y": 2})
+        wal.tear_final_record()
+        assert wal.in_doubt() == ["t1"]
+
+    def test_replay_twice_is_idempotent_at_the_snapshot_level(self):
+        wal = WriteAheadLog()
+        wal.append(PREPARE, "t1", writes={"x": 1})
+        wal.append(COMMIT, "t1", writes={"x": 1})
+        wal.append(PREPARE, "t2", writes={"x": 5, "y": 2})
+        wal.append(COMMIT, "t2", writes={"x": 5, "y": 2})
+        store = wal.replay()
+        once = store.snapshot()
+        again = wal.replay(store).snapshot()
+        assert once == again == {"x": 5, "y": 2}
+        # and a fresh replay agrees with the incremental one
+        assert wal.replay().snapshot() == once
+
+    def test_torn_abort_means_locks_stay_with_an_in_doubt_transaction(self):
+        # cross-layer: outcome_of drives the lock-safety invariant, so a torn
+        # ABORT must flip the transaction back to in-doubt
+        wal = WriteAheadLog()
+        wal.append(PREPARE, "t1", writes={"x": 1})
+        wal.append(ABORT, "t1")
+        assert wal.outcome_of("t1") == ABORT
+        wal.tear_final_record()
+        assert wal.outcome_of("t1") is None
+        assert wal.in_doubt() == ["t1"]
+
 
 class TestTransactions:
     def test_participants_and_sets(self):

@@ -96,13 +96,36 @@ class TestScheduleAxis:
         with pytest.raises(ConfigurationError):
             GridSpec(protocols=["2PC"], schedules=["random-walk", "random-walk"])
 
-    def test_workload_and_schedule_axes_exclude_each_other(self):
-        with pytest.raises(ConfigurationError):
+    def test_workload_and_schedule_axes_compose(self):
+        # schedules x workloads is a supported grid (PR 5): a cluster trial
+        # carrying a ScheduleSpec runs under the schedule controller
+        grid = GridSpec(
+            protocols=["2PC"],
+            systems=[(3, 1)],
+            workloads=["bank-transfer"],
+            schedules=[None, "random-walk"],
+            seeds=[0, 1],
+        )
+        trials = grid.trials()
+        assert grid.size == len(trials) == 4
+        assert {t.schedule_label for t in trials} == {"-", "random-walk"}
+        assert all(t.workload is not None for t in trials)
+
+    def test_workload_times_multi_votes_error_names_both_fields(self):
+        # regression for the improved rejection message: the error must name
+        # both offending axes (with their labels) and the supported
+        # alternative, not just assert incompatibility
+        with pytest.raises(ConfigurationError) as err:
             GridSpec(
                 protocols=["2PC"],
-                workloads=[("w", [])],
-                schedules=["random-walk"],
+                systems=[(3, 1)],
+                workloads=[("bank", "bank-transfer", {})],
+                votes=["all-yes", "all-no"],
             )
+        message = str(err.value)
+        assert "workloads=['bank']" in message
+        assert "votes=['all-yes', 'all-no']" in message
+        assert "separate, workload-free grid" in message
 
     def test_coerce_schedule_shorthands(self):
         assert coerce_schedule(None) is None

@@ -11,9 +11,18 @@ from repro.exp import (
     make_reducer,
     mixed_votes,
     named_delay,
+    named_workload,
     run_sweep,
+    run_trials,
 )
-from repro.exp.registry import NamedDelayFactory, delay_model_names, reducer_names
+from repro.exp.registry import (
+    NamedDelayFactory,
+    NamedWorkloadFactory,
+    delay_model_names,
+    reducer_names,
+    workload_names,
+)
+from repro.exp.spec import ScheduleSpec
 from repro.sim.faults import DelayRule, FaultPlan
 from repro.sim.network import LognormalDelay, UniformDelay
 
@@ -93,6 +102,73 @@ class TestSpawnExecution:
             assert sweep.meta["start_method"] == "fork"
 
 
+class TestClusterReplayAcrossStartMethods:
+    """A shrunk cluster counterexample replays byte-identically everywhere.
+
+    The whole chain is registry-named (protocol, workload, replay schedule),
+    so the very same trial list runs under the serial path, a fork pool and a
+    spawn pool — and every one must reproduce the stored counterexample's
+    trace fingerprint exactly.
+    """
+
+    def _replay_grid(self):
+        from repro.explore import explore
+
+        report = explore(
+            "2PC", n=3, f=1, budget=16,
+            workload=("uniform3", "uniform", {"transactions": 4}),
+            preset="cluster-anomaly", properties=("termination",),
+            max_time=150.0,
+        )
+        hit = report.violations_of("termination")[0]
+        assert hit.shrunk is not None and len(hit.shrunk) >= 1
+        replay_spec = ScheduleSpec(
+            label="replay",
+            strategy="replay",
+            params=(
+                ("decisions", tuple(tuple(d) for d in hit.shrunk.decisions)),
+            ),
+        )
+        # >= 4 trials so the pool actually engages; trial 0 is the true
+        # counterexample, the fillers replay the same decisions against
+        # neighbouring seeds (inapplicable decisions are ignored)
+        grid = GridSpec(
+            protocols=["2PC"],
+            systems=[(3, 1)],
+            workloads=[("uniform3", "uniform", {"transactions": 4})],
+            schedules=[replay_spec],
+            seeds=[hit.base_seed + i for i in range(4)],
+            max_time=150.0,
+        )
+        return grid, hit
+
+    def test_shrunk_counterexample_replays_under_serial_fork_and_spawn(self):
+        grid, hit = self._replay_grid()
+        trials = grid.trials()
+        ensure_spawn_safe(trials)
+        serial = run_trials(trials, workers=1, mode="full", trace_level="full")
+        forked = run_trials(
+            trials, workers=2, mode="full", trace_level="full",
+            start_method="fork",
+        )
+        spawned = run_trials(
+            trials, workers=2, mode="full", trace_level="full",
+            start_method="spawn",
+        )
+        assert forked.meta["start_method"] == "fork"
+        assert spawned.meta["start_method"] == "spawn"
+        fingerprints = {
+            sweep.trials[0].extra["trace_fingerprint"]
+            for sweep in (serial, forked, spawned)
+        }
+        assert fingerprints == {hit.shrunk_fingerprint}
+        # the violation itself reproduces in every execution mode
+        assert not serial.trials[0].termination
+        assert not spawned.trials[0].termination
+        # and the full sweeps are byte-identical across start methods
+        assert serial.fingerprint() == forked.fingerprint() == spawned.fingerprint()
+
+
 class TestDelayRegistry:
     def test_builtin_names(self):
         assert {"fixed", "uniform", "lognormal"} <= set(delay_model_names())
@@ -117,6 +193,53 @@ class TestDelayRegistry:
     def test_factory_equality_feeds_cell_memoisation(self):
         assert NamedDelayFactory("fixed", {}) == NamedDelayFactory("fixed", {})
         assert NamedDelayFactory("fixed", {}) != NamedDelayFactory("uniform", {})
+
+
+class TestWorkloadRegistry:
+    def test_builtin_names(self):
+        assert {"uniform", "hotspot", "bank-transfer"} <= set(workload_names())
+
+    def test_named_workload_builds_seeded_transactions(self):
+        spec = named_workload("bank-transfer", transactions=3)
+        txns = spec.factory(4, 7)
+        assert len(txns) == 3
+        assert all(len(t.participants()) == 2 for t in txns)
+        # per-trial seeding: same (n, seed) -> identical workload
+        again = spec.factory(4, 7)
+        assert [t.txn_id for t in txns] == [t.txn_id for t in again]
+        assert [t.operations for t in txns] == [t.operations for t in again]
+        assert spec.label == "bank-transfer(transactions=3)"
+
+    def test_unknown_workload_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NamedWorkloadFactory("no-such-workload", {})
+        with pytest.raises(ConfigurationError):
+            GridSpec(protocols=["2PC"], workloads=["no-such-workload"])
+
+    def test_factory_equality_and_pickling(self):
+        import pickle
+
+        factory = NamedWorkloadFactory("uniform", {"transactions": 5})
+        assert factory == NamedWorkloadFactory("uniform", {"transactions": 5})
+        assert factory != NamedWorkloadFactory("uniform", {})
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+
+    def test_spawn_pool_reproduces_a_cluster_schedule_sweep(self):
+        grid = lambda: GridSpec(
+            protocols=["2PC", "INBAC"],
+            systems=[(3, 1)],
+            workloads=["bank-transfer"],
+            schedules=[None, ("rw", "random-walk", {"crash_prob": 0.1})],
+            seeds=range(2),
+            max_time=150.0,
+        )
+        ensure_spawn_safe(grid().trials())
+        serial = run_sweep(grid(), workers=1)
+        spawned = run_sweep(grid(), workers=2, start_method="spawn")
+        assert spawned.meta["start_method"] == "spawn"
+        assert spawned.fingerprint() == serial.fingerprint()
+        assert spawned.aggregate_fingerprint() == serial.aggregate_fingerprint()
 
 
 class TestReducerRegistry:

@@ -211,6 +211,113 @@ class TestWalInvariants:
 
 
 # --------------------------------------------------------------------------- #
+# cluster invariants under random workloads and crash points
+# --------------------------------------------------------------------------- #
+class TestClusterInvariantProperties:
+    """Random transaction workloads + adversarial crash points: for every
+    correct commit protocol the three cluster invariants (atomicity,
+    WAL-replay durability, lock safety) must hold on every run.  Everything
+    is derived from the drawn seed, and failures print the reproducing
+    ``(seed, decisions)`` pair — the same contract `repro.explore` uses."""
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=4),   # crash victim (partition or client)
+        st.integers(min_value=0, max_value=6),   # phase-boundary ordinal
+        st.sampled_from(["2PC", "INBAC"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_hold_under_any_crash_point(self, seed, pid, point, protocol):
+        from repro.db import ClusterConfig, run_cluster
+        from repro.explore import CrashPoint
+        from repro.workloads import uniform_workload
+
+        workload = uniform_workload(
+            3, num_partitions=3, participants_per_txn=3, inter_arrival=2.0,
+            seed=seed,
+        )
+        report = run_cluster(
+            ClusterConfig(
+                num_partitions=3,
+                commit_protocol=protocol,
+                seed=seed,
+                max_time=200.0,
+                controller=CrashPoint(pid=pid, point=point),
+            ),
+            workload.transactions,
+        )
+        assert report.invariants.holds, (
+            f"cluster invariants violated; reproduce with "
+            f"(seed={seed}, decisions={report.schedule_decisions}): "
+            f"{report.invariants.violations}"
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.0, max_value=0.4, allow_nan=False),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_invariants_hold_under_random_walk_schedules(self, seed, crash_prob):
+        from repro.db import ClusterConfig, run_cluster
+        from repro.explore import RandomWalk
+        from repro.workloads import hotspot_workload
+
+        # contended workload: aborts happen, so the invariants are exercised
+        # on mixed commit/abort runs, not just all-commit ones
+        workload = hotspot_workload(
+            4, num_partitions=3, inter_arrival=1.0, seed=seed
+        )
+        report = run_cluster(
+            ClusterConfig(
+                num_partitions=3,
+                commit_protocol="INBAC",
+                seed=seed,
+                max_time=200.0,
+                controller=RandomWalk(
+                    seed=seed, defer_prob=0.2, crash_prob=crash_prob
+                ),
+            ),
+            workload.transactions,
+        )
+        assert report.invariants.holds, (
+            f"cluster invariants violated; reproduce with "
+            f"(seed={seed}, decisions={report.schedule_decisions}): "
+            f"{report.invariants.violations}"
+        )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_recorded_decisions_replay_to_the_same_outcomes(self, seed):
+        from repro.db import ClusterConfig, run_cluster
+        from repro.explore import RandomWalk, ScheduleTrace
+        from repro.workloads import bank_transfer_workload
+
+        workload = bank_transfer_workload(3, num_partitions=3, seed=seed)
+
+        def run(controller):
+            return run_cluster(
+                ClusterConfig(
+                    num_partitions=3, commit_protocol="2PC", seed=seed,
+                    max_time=200.0, controller=controller,
+                ),
+                workload.transactions,
+            )
+
+        explored = run(RandomWalk(seed=seed, defer_prob=0.25, crash_prob=0.1))
+        trace = ScheduleTrace(
+            strategy="random-walk", seed=seed, decisions=explored.schedule_decisions
+        )
+        replayed = run(trace.replay_controller())
+        assert replayed.trace_fingerprint == explored.trace_fingerprint, (
+            f"replay diverged for (seed={seed}, "
+            f"decisions={explored.schedule_decisions})"
+        )
+        assert {o.txn_id: o.decision for o in replayed.outcomes} == {
+            o.txn_id: o.decision for o in explored.outcomes
+        }
+
+
+# --------------------------------------------------------------------------- #
 # trace metrics
 # --------------------------------------------------------------------------- #
 class TestTraceInvariants:
