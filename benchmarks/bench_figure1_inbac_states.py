@@ -40,6 +40,11 @@ from repro.sim.faults import DelayRule, FaultPlan
 
 N, F = 5, 2
 
+
+def _is_vote_payload(payload) -> bool:
+    return payload[0] == "V"
+
+
 SCENARIOS = [
     ("nice execution", [1] * N, None),
     ("one no vote", [1, 1, 0, 1, 1], None),
@@ -58,7 +63,7 @@ SCENARIOS = [
     (
         "votes to backups delayed",
         [1] * N,
-        FaultPlan(delay_rules=[DelayRule(predicate=lambda p: p[0] == "V", delay=30.0)]),
+        FaultPlan(delay_rules=[DelayRule(predicate=_is_vote_payload, delay=30.0)]),
     ),
     (
         "crash plus delayed help",

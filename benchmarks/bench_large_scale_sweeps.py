@@ -21,9 +21,8 @@ import pytest
 
 from _helpers import attach_rows
 from repro.analysis import render_table
-from repro.exp import GridSpec, run_sweep
+from repro.exp import GridSpec, named_delay, run_sweep
 from repro.sim.faults import FaultPlan
-from repro.sim.network import LognormalDelay
 
 
 def sweep_scale_grid():
@@ -97,12 +96,7 @@ def sweep_lognormal_latency():
         GridSpec(
             protocols=["2PC", "INBAC", "PaxosCommit"],
             systems=[(8, 2)],
-            delays=[
-                (
-                    "lognormal",
-                    lambda seed: LognormalDelay(median=0.3, sigma=0.6, u=1.0, seed=seed),
-                )
-            ],
+            delays=[named_delay("lognormal", label="lognormal", median=0.3, sigma=0.6, u=1.0)],
             seeds=range(200),
             max_time=400,
         ),

@@ -24,6 +24,11 @@ from repro.sim.faults import DelayRule, FaultPlan
 
 N, F = 5, 2
 
+
+def _is_tuple_payload(payload) -> bool:
+    return isinstance(payload, tuple)
+
+
 FAULT_AXIS = [
     ("failure-free", None),
     ("crash P1@0", FaultPlan.crash(1, at=0.0)),
@@ -33,7 +38,7 @@ FAULT_AXIS = [
     ("late from P1", FaultPlan.delay_messages(src=1, delay=40.0)),
     ("late to P5", FaultPlan.delay_messages(dst=5, delay=40.0, after_time=0.5)),
     ("late tuples from P2", FaultPlan(delay_rules=[
-        DelayRule(predicate=lambda p: isinstance(p, tuple), delay=30.0,
+        DelayRule(predicate=_is_tuple_payload, delay=30.0,
                   after_time=0.5, src=2)])),
 ]
 

@@ -26,16 +26,20 @@
 #      the cluster-invariant battery (atomicity / durability / lock safety)
 #      clean for a real commit protocol, while the deliberately broken
 #      split-brain coordinator from the test tree is caught and shrunk to a
-#      1-minimal counterexample.
+#      1-minimal counterexample;
+#  10. the determinism & spawn-safety static-analysis pass (python -m
+#      repro.lint) must exit 0 over src/benchmarks/tests, and the runtime
+#      determinism sanitizer must run the reference sweep clean plus the
+#      cross-PYTHONHASHSEED fingerprint diff (see docs/determinism.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "==> [1/9] tier-1 tests (pytest from the repo root)"
+echo "==> [1/10] tier-1 tests (pytest from the repo root)"
 python -m pytest -x -q
 
-echo "==> [2/9] benchmark collection (must be > 0 tests)"
+echo "==> [2/10] benchmark collection (must be > 0 tests)"
 collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
 if [ "${collected}" -eq 0 ]; then
     echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
@@ -43,7 +47,7 @@ if [ "${collected}" -eq 0 ]; then
 fi
 echo "    collected ${collected} benchmark tests"
 
-echo "==> [3/9] every benchmark is ported onto repro.exp"
+echo "==> [3/10] every benchmark is ported onto repro.exp"
 for bench in benchmarks/bench_*.py; do
     if ! grep -q "from repro\.exp import" "${bench}"; then
         echo "ERROR: ${bench} does not import repro.exp (hand-rolled sweep loop?)" >&2
@@ -52,15 +56,14 @@ for bench in benchmarks/bench_*.py; do
 done
 echo "    all $(ls benchmarks/bench_*.py | wc -l | tr -d ' ') benchmarks import repro.exp"
 
-echo "==> [4/9] aggregate-mode sweep reproduces the in-memory aggregates"
+echo "==> [4/10] aggregate-mode sweep reproduces the in-memory aggregates"
 python - <<'EOF'
 from repro.exp import GridSpec, run_sweep
-from repro.sim.network import UniformDelay
 
 grid = lambda: GridSpec(
     protocols=["INBAC", "2PC"],
     systems=[(5, 2)],
-    delays=[("uniform", lambda seed: UniformDelay(0.3, 1.0, seed=seed))],
+    delays=["uniform"],  # registry-named: spawn-safe, lint-clean
     seeds=range(20),
 )
 full = run_sweep(grid(), workers=1)
@@ -80,16 +83,16 @@ print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok "
       f"(both trace levels x both folds)")
 EOF
 
-echo "==> [5/9] one fast benchmark"
+echo "==> [5/10] one fast benchmark"
 python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
 
-echo "==> [6/9] examples"
+echo "==> [6/10] examples"
 for example in examples/*.py; do
     echo "--- ${example}"
     python "${example}" > /dev/null
 done
 
-echo "==> [7/9] sweep-throughput perf smoke (fast-path core baseline)"
+echo "==> [7/10] sweep-throughput perf smoke (fast-path core baseline)"
 bench_out=$(mktemp)
 python benchmarks/bench_sweep_throughput.py --quick --out "${bench_out}" > /dev/null
 python - "${bench_out}" <<'EOF'
@@ -111,7 +114,7 @@ print(f"    baseline emitted with {len(baseline['configs'])} configs, "
 EOF
 rm -f "${bench_out}"
 
-echo "==> [8/9] schedule-exploration smoke (adversarial search + replay)"
+echo "==> [8/10] schedule-exploration smoke (adversarial search + replay)"
 python - <<'EOF'
 from repro.explore import ScheduleTrace, explore, replay_trial
 from repro.exp.spec import GridSpec
@@ -145,7 +148,7 @@ print(f"    INBAC: 0 violations in {inbac.schedules_run} schedules; "
       f"{len(shrunk)} decision(s) replays deterministically")
 EOF
 
-echo "==> [9/9] cluster-exploration smoke (invariant battery + injected bug)"
+echo "==> [9/10] cluster-exploration smoke (invariant battery + injected bug)"
 python - <<'EOF'
 import sys
 sys.path.insert(0, "tests")  # the injected-bug fixture lives in the test tree
@@ -175,5 +178,8 @@ print(f"    INBAC: battery clean over {clean.schedules_run} schedules; "
       f"SplitBrain2PC: {broken.violation_count} violations, shrunk to "
       f"{len(hits[0].shrunk)} decision")
 EOF
+
+echo "==> [10/10] determinism lint + runtime sanitizer"
+python -m repro.lint src benchmarks tests --sanitize
 
 echo "smoke: OK"

@@ -72,6 +72,13 @@ from repro.exp import GridSpec, SweepResult, run_sweep
 from repro.sim import FaultPlan, FixedDelay, Simulation, SimulationResult, Trace
 from repro.sim.runner import run_nice_execution
 
+# Arm the runtime determinism sanitizer when REPRO_SANITIZE=1.  Running this
+# at import time means spawn workers (which re-import repro) re-arm
+# automatically; when the flag is unset this is a single dict lookup.
+from repro.lint.sanitizer import maybe_install as _maybe_install_sanitizer
+
+_maybe_install_sanitizer()
+
 __version__ = "1.0.0"
 
 __all__ = [

@@ -16,7 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional
 
-from repro.core.lattice import ALL_PROPS, Prop, PropertyPair, prop_label
+from repro.core.lattice import (
+    ALL_PROPS,
+    Prop,
+    PropertyPair,
+    canonical_props,
+    prop_label,
+)
 from repro.core.properties import (
     PropertyCheck,
     check_agreement,
@@ -102,9 +108,11 @@ def evaluate_problem(
     cls = execution_class or trace.metadata.get("execution_class", "failure-free")
     report = check_nbac(trace, cls)
     required = required_properties(cell, cls)
+    # canonical A, V, T order: ``required`` is a frozenset of a str-Enum,
+    # whose iteration order follows PYTHONHASHSEED (repro.lint rule DET001)
     failures = [
         violation
-        for prop in required
+        for prop in canonical_props(required)
         for violation in report.check(prop).violations
     ]
     return ProblemEvaluation(

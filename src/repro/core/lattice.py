@@ -65,6 +65,16 @@ def prop_label(props: FrozenSet[Prop]) -> str:
     return "".join(p.value for p in _CANONICAL_ORDER if p in props)
 
 
+def canonical_props(props: FrozenSet[Prop]) -> tuple:
+    """A property set as a tuple in the paper's fixed A, V, T order.
+
+    ``Prop`` is a str-Enum, so iterating a ``frozenset`` of properties
+    follows ``PYTHONHASHSEED``; use this wherever the iteration order can
+    reach an ordered result (violation lists, rendered labels, digests).
+    """
+    return tuple(p for p in _CANONICAL_ORDER if p in props)
+
+
 @dataclass(frozen=True)
 class PropertyPair:
     """One cell of Table 1: properties required under crash / network failures."""

@@ -98,7 +98,7 @@ class LockManager:
             del self._locks[key]
 
     def release_all(self, txn_id: str) -> None:
-        for key in list(self._held_by_txn.get(txn_id, set())):
+        for key in sorted(self._held_by_txn.get(txn_id, set())):
             self.release(txn_id, key)
         self._held_by_txn.pop(txn_id, None)
 

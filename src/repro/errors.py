@@ -25,6 +25,16 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 
 
+class DeterminismError(ReproError):
+    """The runtime determinism sanitizer observed order-dependent bytes.
+
+    Raised only under ``REPRO_SANITIZE=1`` (see :mod:`repro.lint.sanitizer`):
+    a trace fingerprint or an accumulator row changed when the insertion
+    order of its underlying containers was perturbed, or a message payload
+    carried an unordered ``set``/``frozenset`` into the trace.
+    """
+
+
 class ProtocolViolationError(ReproError):
     """A protocol implementation violated one of its invariants at runtime.
 

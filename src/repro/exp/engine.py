@@ -469,7 +469,14 @@ def ensure_spawn_safe(
     pool with an anonymous ``PicklingError``.  Registry-named delay models,
     vote patterns, schedules and reducers (see :mod:`repro.exp.registry`)
     are spawn-safe by construction.
+
+    The fields checked come from
+    :data:`repro.lint.rules.spawn_safety.SPAWN_AXIS_FIELDS` — the same rule
+    table the static analyser (``python -m repro.lint``) scans, so the
+    runtime and static checks cannot drift apart.
     """
+    from repro.lint.rules.spawn_safety import SPAWN_AXIS_FIELDS
+
     seen: set = set()
 
     def _check(field: str, label: str, obj: Any) -> None:
@@ -487,14 +494,10 @@ def ensure_spawn_safe(
             ) from None
 
     for trial in trials:
-        _check("protocols", trial.protocol.label, trial.protocol)
-        _check("delays", trial.delay.label, trial.delay)
-        _check("faults", trial.fault.label, trial.fault)
-        _check("votes", trial.votes.label, trial.votes)
-        if trial.workload is not None:
-            _check("workloads", trial.workload.label, trial.workload)
-        if trial.schedule is not None:
-            _check("schedules", trial.schedule.label, trial.schedule)
+        for grid_field, attr in SPAWN_AXIS_FIELDS:
+            spec = getattr(trial, attr)
+            if spec is not None:
+                _check(grid_field, spec.label, spec)
     if collector is not None:
         _check("collector", getattr(collector, "__name__", "collector"), collector)
 

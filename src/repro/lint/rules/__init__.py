@@ -1,0 +1,46 @@
+"""Rule registry for :mod:`repro.lint`.
+
+``default_rules()`` assembles one instance of every built-in rule; the CLI
+and the test suite both go through it so the active rule set has a single
+definition point.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.ast_checks import Rule
+from repro.lint.rules.determinism import (
+    IdHashOrderingRule,
+    UnorderedIterationRule,
+    WallClockAndGlobalRandomRule,
+)
+from repro.lint.rules.fingerprint_paths import (
+    DigestSerialisationRule,
+    SetInMessagePayloadRule,
+    UnsortedFoldRule,
+)
+from repro.lint.rules.spawn_safety import SpawnSafetyRule
+
+__all__ = [
+    "default_rules",
+    "IdHashOrderingRule",
+    "UnorderedIterationRule",
+    "WallClockAndGlobalRandomRule",
+    "DigestSerialisationRule",
+    "SetInMessagePayloadRule",
+    "UnsortedFoldRule",
+    "SpawnSafetyRule",
+]
+
+
+def default_rules() -> List[Rule]:
+    return [
+        UnorderedIterationRule(),
+        WallClockAndGlobalRandomRule(),
+        IdHashOrderingRule(),
+        DigestSerialisationRule(),
+        SetInMessagePayloadRule(),
+        UnsortedFoldRule(),
+        SpawnSafetyRule(),
+    ]

@@ -32,7 +32,7 @@ message delay without affecting nice executions.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.protocols.base import ABORT, COMMIT, AtomicCommitProcess, logical_and
 
@@ -60,7 +60,10 @@ class INBAC(AtomicCommitProcess):
         self.phase = 0
         self.proposed = False
         self.collection0: Set[Tuple[int, int]] = set()
-        self.collection1: Set[Tuple[int, FrozenSet[Tuple[int, int]]]] = set()
+        # acknowledged collections travel as sorted tuples, never as raw
+        # sets: payload reprs feed the trace fingerprint, and a set's repr
+        # order is implementation-defined (repro.lint rule FP002)
+        self.collection1: Set[Tuple[int, Tuple[Tuple[int, int], ...]]] = set()
         self.collection_help: Set[Tuple[int, int]] = set()
         self.wait = False
         self.val: Optional[int] = None
@@ -89,7 +92,7 @@ class INBAC(AtomicCommitProcess):
     def _all_votes_from(self, collections) -> Optional[Dict[int, int]]:
         """Extract one vote per process from a union of backed-up collections."""
         votes: Dict[int, int] = {}
-        for pid, vote in collections:
+        for pid, vote in sorted(collections):
             votes.setdefault(pid, vote)
         if all(pid in votes for pid in self.all_pids()):
             return votes
@@ -124,7 +127,7 @@ class INBAC(AtomicCommitProcess):
             if not all_pids <= covered:
                 return None
             if len(votes) < n_pids:
-                for pid, vote in backed_up:
+                for pid, vote in sorted(backed_up):
                     votes.setdefault(pid, vote)
         for sender in required_partial:
             backed_up = by_sender[sender]
@@ -132,7 +135,7 @@ class INBAC(AtomicCommitProcess):
             if not low_pids <= covered:
                 return None
             if len(votes) < n_pids:
-                for pid, vote in backed_up:
+                for pid, vote in sorted(backed_up):
                     votes.setdefault(pid, vote)
         if not all(pid in votes for pid in all_pids):
             return None
@@ -188,7 +191,7 @@ class INBAC(AtomicCommitProcess):
             self.cnt += 1
             self._maybe_finish_help()
         elif kind == "HELP" and self.phase == 2 and self.pid >= self.f + 1:
-            self.send(src, ("HELPED", frozenset(self.collection0)))
+            self.send(src, ("HELPED", tuple(sorted(self.collection0))))
         elif kind == "HELPED" and self.pid >= self.f + 1:
             self.collection_help.update(payload[1])
             self.cnt_help += 1
@@ -211,11 +214,11 @@ class INBAC(AtomicCommitProcess):
     def _phase0_timeout(self) -> None:
         """At time U the backup processes acknowledge the votes they back up."""
         if 1 <= self.pid <= self.f:
-            ack = ("C", frozenset(self.collection0))  # immutable: one copy for all
+            ack = ("C", tuple(sorted(self.collection0)))  # immutable: one copy for all
             for q in self.all_pids():
                 self.send(q, ack)
         elif self.pid == self.f + 1:
-            ack = ("C", frozenset(self.collection0))
+            ack = ("C", tuple(sorted(self.collection0)))
             for q in self.first_f():
                 self.send(q, ack)
         self.phase = 1

@@ -1,0 +1,13 @@
+"""Fixture: DET001 — unsorted set iteration escaping into ordered results."""
+
+
+def collect(items: set):
+    out = []
+    for item in items:
+        out.append(item)
+    return out
+
+
+def freeze():
+    values = {3, 1, 2}
+    return list(values)

@@ -1,0 +1,9 @@
+"""Fixture: DET002 — wall clock reads and interpreter-global RNG."""
+
+import random
+import time
+from datetime import datetime
+
+SEED = random.random()
+START = time.time()
+STAMP = datetime.now()

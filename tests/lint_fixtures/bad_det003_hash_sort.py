@@ -1,0 +1,10 @@
+"""Fixture: DET003 — id()/hash()-keyed ordering."""
+
+
+def order(items):
+    return sorted(items, key=id)
+
+
+def order_by_hash(items):
+    items.sort(key=lambda x: hash(x))
+    return items

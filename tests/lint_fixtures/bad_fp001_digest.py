@@ -1,0 +1,8 @@
+"""Fixture: FP001 — json.dumps without sort_keys=True in a digest function."""
+
+import hashlib
+import json
+
+
+def fingerprint(payload):
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()

@@ -1,0 +1,10 @@
+"""Fixture: FP002 — a set/frozenset inside a sent message payload."""
+
+
+class Proto:
+    def broadcast(self, votes):
+        self.send(1, ("VOTES", frozenset(votes)))
+
+    def helped(self, votes):
+        ack = ("C", set(votes))
+        self.send(2, ack)

@@ -1,0 +1,12 @@
+"""Fixture: FP003 — order-sensitive dict-view iteration in fold code."""
+
+
+class Acc:
+    def __init__(self):
+        self.counts = {}
+
+    def row(self):
+        total = 0.0
+        for value, count in self.counts.items():
+            total += value * count
+        return {"total": total}

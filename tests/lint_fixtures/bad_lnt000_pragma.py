@@ -1,0 +1,5 @@
+"""Fixture: LNT000 — allowlist pragma without a justification."""
+
+
+def freeze(values: set):
+    return list(values)  # lint: allow[DET001]

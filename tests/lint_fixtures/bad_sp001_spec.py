@@ -1,0 +1,15 @@
+"""Fixture: SP001 — lambda / local closure in a spec field."""
+
+from repro.exp import GridSpec
+
+
+def build():
+    def local_delay(seed):
+        return None
+
+    return GridSpec(
+        protocols=["2PC"],
+        systems=[(3, 1)],
+        delays=[("slow", lambda seed: seed)],
+        workloads=[("w", local_delay)],
+    )

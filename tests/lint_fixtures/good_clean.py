@@ -1,0 +1,27 @@
+"""Fixture: deterministic idioms that must produce zero findings."""
+
+import random
+
+
+def canonical(values: set):
+    return tuple(sorted(values))
+
+
+def fold(values: set):
+    total = set()
+    for value in values:
+        total.add(value)
+    return sorted(total)
+
+
+def draw(seed: int):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def membership(values: set, needle):
+    return needle in values and len(values) > 0
+
+
+def tally(values: set):
+    return sum(1 for v in values)

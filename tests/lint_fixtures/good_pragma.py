@@ -1,0 +1,5 @@
+"""Fixture: a justified allowlist pragma suppresses the finding."""
+
+
+def freeze(values: set):
+    return list(values)  # lint: allow[DET001] snapshot order is irrelevant to the caller

@@ -264,3 +264,25 @@ class TestReducerRegistry:
         )
         rows = fold.rows()
         assert rows and rows[0]["protocol"] == "2PC"
+
+
+class TestCrossHashSeedDeterminism:
+    """The same sweep + replay in subprocesses under different
+    ``PYTHONHASHSEED`` values must produce byte-identical fingerprints —
+    under the serial path, a fork pool and a spawn pool alike.  Any
+    divergence means hash order (set iteration, str-keyed dict order)
+    leaked into the bytes somewhere in the pipeline."""
+
+    def test_fingerprints_identical_across_hash_seeds_and_pools(self):
+        from repro.lint.sanitizer import run_hashseed_check
+
+        out = run_hashseed_check(
+            seeds=(101, 202), start_methods=("serial", "fork", "spawn")
+        )
+        assert out["ok"], out["diverging"]
+        # both probes computed all nine fingerprints (3 methods x 3 metrics)
+        for fingerprints in out["fingerprints"].values():
+            assert len(fingerprints) == 9
+        # and the two hash seeds agree key for key
+        first, second = (out["fingerprints"][str(s)] for s in (101, 202))
+        assert first == second
