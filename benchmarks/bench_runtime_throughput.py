@@ -1,0 +1,286 @@
+"""Runtime-throughput benchmark: real commits on the asyncio transport.
+
+For every (protocol x partitions x clients) point the benchmark boots an
+:class:`~repro.runtime.AsyncClusterService`, splits a bank-transfer workload
+across ``clients`` concurrent client coroutines (each submitting its share
+sequentially, as a real session would), and measures
+
+* wall-clock commit throughput (transactions/sec),
+* p50 / p99 commit latency, both in units of U and in milliseconds,
+* message volume at the transport.
+
+Next to each runtime point the same (protocol, partitions) pair is run on the
+discrete-event simulator through the experiment engine — the deterministic
+oracle.  The oracle pins *semantics* (every transaction completes, the
+invariant battery holds, commit latency in units is in the same regime); the
+runtime side adds what the simulator cannot measure: real wall-clock numbers
+under real concurrency, including lock contention between concurrent clients
+that the simulator's planned workload never produces.
+
+Results go to ``benchmarks/BENCH_runtime_throughput.json`` (``--out`` /
+``REPRO_BENCH_OUT`` override; ``--quick`` runs the small smoke grid).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from _helpers import attach_rows
+from repro.analysis import render_table
+from repro.db.cluster import ClusterConfig
+from repro.exp import GridSpec, run_sweep
+from repro.protocols.base import COMMIT
+from repro.runtime import AsyncClusterService, DEFAULT_CLUSTER_UNIT_SECONDS
+from repro.workloads.transactions import bank_transfer_workload
+
+#: protocol x partitions x clients grids; transfers scale with the client
+#: count so every client has work
+FULL_GRID = {
+    "protocols": ("2PC", "3PC", "INBAC", "PaxosCommit"),
+    "partitions": (3, 4),
+    "clients": (1, 8),
+    "transfers": 12,
+}
+QUICK_GRID = {
+    "protocols": ("2PC", "INBAC"),
+    "partitions": (3,),
+    "clients": (1, 4),
+    "transfers": 6,
+}
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(__file__), "BENCH_runtime_throughput.json"
+)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> Optional[float]:
+    if not sorted_values:
+        return None
+    index = max(0, int(round(q * len(sorted_values))) - 1)
+    return sorted_values[index]
+
+
+# --------------------------------------------------------------------------- #
+# the runtime side: wall clock, concurrent clients
+# --------------------------------------------------------------------------- #
+def measure_runtime(
+    protocol: str,
+    partitions: int,
+    clients: int,
+    transfers: int,
+    unit: float,
+    seed: int,
+) -> Dict[str, object]:
+    workload = bank_transfer_workload(
+        num_transfers=transfers, num_partitions=partitions, seed=seed
+    )
+    shares: List[List] = [[] for _ in range(clients)]
+    for index, txn in enumerate(workload.transactions):
+        shares[index % clients].append(txn)
+
+    async def drive():
+        service = AsyncClusterService(
+            ClusterConfig(
+                num_partitions=partitions,
+                commit_protocol=protocol,
+                seed=seed,
+                max_time=2000.0,
+            ),
+            unit=unit,
+        )
+        await service.start()
+
+        async def client_session(share):
+            outcomes = []
+            for txn in share:
+                outcomes.append(await service.submit(txn, timeout_units=500.0))
+            return outcomes
+
+        start = time.perf_counter()
+        per_client = await asyncio.gather(
+            *(client_session(share) for share in shares)
+        )
+        elapsed = time.perf_counter() - start
+        report = await service.shutdown()
+        return per_client, report, elapsed
+
+    per_client, report, elapsed = asyncio.run(drive())
+    outcomes = [o for share in per_client for o in share]
+    assert all(o is not None for o in outcomes), (
+        f"{protocol} x{partitions}p x{clients}c: a fault-free transaction "
+        "never completed"
+    )
+    assert report.invariants is not None and report.invariants.holds, (
+        report.invariants and report.invariants.violations
+    )
+    latencies = sorted(
+        o.commit_latency for o in outcomes if o.commit_latency is not None
+    )
+    committed = sum(1 for o in outcomes if o.decision == COMMIT)
+    return {
+        "completed": len(outcomes),
+        "committed": committed,
+        "aborted": len(outcomes) - committed,
+        "throughput_txn_per_s": len(outcomes) / elapsed if elapsed > 0 else 0.0,
+        "p50_latency_units": percentile(latencies, 0.50),
+        "p99_latency_units": percentile(latencies, 0.99),
+        "p50_latency_ms": _ms(percentile(latencies, 0.50), unit),
+        "p99_latency_ms": _ms(percentile(latencies, 0.99), unit),
+        "messages": report.messages_total,
+        "wall_seconds": elapsed,
+    }
+
+
+def _ms(latency_units: Optional[float], unit: float) -> Optional[float]:
+    return None if latency_units is None else latency_units * unit * 1000.0
+
+
+# --------------------------------------------------------------------------- #
+# the sim side: the deterministic oracle via the experiment engine
+# --------------------------------------------------------------------------- #
+def measure_sim_oracle(
+    protocol: str, partitions: int, transfers: int, seed: int
+) -> Dict[str, object]:
+    workload = bank_transfer_workload(
+        num_transfers=transfers, num_partitions=partitions, seed=seed
+    )
+    sweep = run_sweep(
+        GridSpec(
+            protocols=[protocol],
+            systems=[(partitions, 1)],
+            workloads=[("bank", workload)],
+            seeds=[seed],
+            max_time=2000.0,
+        ),
+        workers=1,
+    )
+    assert not sweep.errors(), sweep.errors()[0].error
+    trial = sweep.trials[0]
+    assert trial.termination, f"sim oracle left pending transactions: {trial}"
+    latencies = sorted(trial.decision_latencies)
+    return {
+        "sim_committed": sum(
+            1 for d in trial.decisions.values() if d == COMMIT
+        ),
+        "sim_completed": len(trial.decisions),
+        "sim_p50_latency_units": percentile(latencies, 0.50),
+        "sim_messages": trial.messages_total,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# the battery
+# --------------------------------------------------------------------------- #
+def run_battery(
+    grid: Dict[str, object],
+    unit: float = DEFAULT_CLUSTER_UNIT_SECONDS,
+    seed: int = 2017,
+) -> List[Dict]:
+    rows: List[Dict] = []
+    transfers = grid["transfers"]
+    for protocol in grid["protocols"]:
+        for partitions in grid["partitions"]:
+            oracle = measure_sim_oracle(protocol, partitions, transfers, seed)
+            for clients in grid["clients"]:
+                measured = measure_runtime(
+                    protocol, partitions, clients, transfers, unit, seed
+                )
+                # semantics parity with the oracle: every transaction reaches
+                # an outcome on both runtimes
+                assert measured["completed"] == oracle["sim_completed"]
+                # a single sequential client has no cross-client contention:
+                # its commit count matches the planned-workload oracle
+                if clients == 1:
+                    assert measured["committed"] == oracle["sim_committed"], (
+                        protocol,
+                        partitions,
+                        measured,
+                        oracle,
+                    )
+                rows.append(
+                    {
+                        "protocol": protocol,
+                        "partitions": partitions,
+                        "clients": clients,
+                        "txns": transfers,
+                        "committed": measured["committed"],
+                        "aborted": measured["aborted"],
+                        "thru t/s": round(measured["throughput_txn_per_s"], 1),
+                        "p50 ms": _round(measured["p50_latency_ms"]),
+                        "p99 ms": _round(measured["p99_latency_ms"]),
+                        "p50 U": _round(measured["p50_latency_units"]),
+                        "sim p50 U": _round(oracle["sim_p50_latency_units"]),
+                        "msgs": measured["messages"],
+                        "sim msgs": oracle["sim_messages"],
+                    }
+                )
+    return rows
+
+
+def _round(value: Optional[float], digits: int = 2) -> Optional[float]:
+    return None if value is None else round(value, digits)
+
+
+def write_baseline(
+    rows: List[Dict], out_path: str, unit: float, quick: bool
+) -> Dict:
+    baseline = {
+        "benchmark": "runtime_throughput",
+        "quick": quick,
+        "unit_seconds_per_U": unit,
+        "rows": rows,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return baseline
+
+
+def test_runtime_throughput(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_battery(FULL_GRID), rounds=1, iterations=1
+    )
+    out_path = os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT)
+    write_baseline(rows, out_path, unit=DEFAULT_CLUSTER_UNIT_SECONDS, quick=False)
+    attach_rows(benchmark, "runtime_throughput", rows)
+    print()
+    print(
+        render_table(
+            rows,
+            title="Runtime commit throughput (asyncio transport, wall clock)",
+        )
+    )
+    print(f"baseline written to {out_path}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke grid")
+    parser.add_argument("--out",
+                        default=os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT),
+                        help="where to write the JSON baseline")
+    parser.add_argument("--unit", type=float,
+                        default=DEFAULT_CLUSTER_UNIT_SECONDS,
+                        help="wall-clock seconds per unit of simulated time U")
+    args = parser.parse_args()
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    rows = run_battery(grid, unit=args.unit)
+    write_baseline(rows, args.out, unit=args.unit, quick=args.quick)
+    print(
+        render_table(
+            rows,
+            title="Runtime commit throughput (asyncio transport, wall clock)",
+        )
+    )
+    print(f"baseline written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,16 +30,20 @@
 #  10. the determinism & spawn-safety static-analysis pass (python -m
 #      repro.lint) must exit 0 over src/benchmarks/tests, and the runtime
 #      determinism sanitizer must run the reference sweep clean plus the
-#      cross-PYTHONHASHSEED fingerprint diff (see docs/determinism.md).
+#      cross-PYTHONHASHSEED fingerprint diff (see docs/determinism.md);
+#  11. a bounded runtime round-trip: every registered commit protocol must
+#      commit one real transaction over the asyncio transport (repro.runtime,
+#      wall clock, hard timeout), and the packaging discovery must ship every
+#      subpackage (import repro.runtime from an emulated installed layout).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "==> [1/10] tier-1 tests (pytest from the repo root)"
+echo "==> [1/11] tier-1 tests (pytest from the repo root)"
 python -m pytest -x -q
 
-echo "==> [2/10] benchmark collection (must be > 0 tests)"
+echo "==> [2/11] benchmark collection (must be > 0 tests)"
 collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
 if [ "${collected}" -eq 0 ]; then
     echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
@@ -47,7 +51,7 @@ if [ "${collected}" -eq 0 ]; then
 fi
 echo "    collected ${collected} benchmark tests"
 
-echo "==> [3/10] every benchmark is ported onto repro.exp"
+echo "==> [3/11] every benchmark is ported onto repro.exp"
 for bench in benchmarks/bench_*.py; do
     if ! grep -q "from repro\.exp import" "${bench}"; then
         echo "ERROR: ${bench} does not import repro.exp (hand-rolled sweep loop?)" >&2
@@ -56,7 +60,7 @@ for bench in benchmarks/bench_*.py; do
 done
 echo "    all $(ls benchmarks/bench_*.py | wc -l | tr -d ' ') benchmarks import repro.exp"
 
-echo "==> [4/10] aggregate-mode sweep reproduces the in-memory aggregates"
+echo "==> [4/11] aggregate-mode sweep reproduces the in-memory aggregates"
 python - <<'EOF'
 from repro.exp import GridSpec, run_sweep
 
@@ -83,16 +87,16 @@ print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok "
       f"(both trace levels x both folds)")
 EOF
 
-echo "==> [5/10] one fast benchmark"
+echo "==> [5/11] one fast benchmark"
 python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
 
-echo "==> [6/10] examples"
+echo "==> [6/11] examples"
 for example in examples/*.py; do
     echo "--- ${example}"
     python "${example}" > /dev/null
 done
 
-echo "==> [7/10] sweep-throughput perf smoke (fast-path core baseline)"
+echo "==> [7/11] sweep-throughput perf smoke (fast-path core baseline)"
 bench_out=$(mktemp)
 python benchmarks/bench_sweep_throughput.py --quick --out "${bench_out}" > /dev/null
 python - "${bench_out}" <<'EOF'
@@ -114,7 +118,7 @@ print(f"    baseline emitted with {len(baseline['configs'])} configs, "
 EOF
 rm -f "${bench_out}"
 
-echo "==> [8/10] schedule-exploration smoke (adversarial search + replay)"
+echo "==> [8/11] schedule-exploration smoke (adversarial search + replay)"
 python - <<'EOF'
 from repro.explore import ScheduleTrace, explore, replay_trial
 from repro.exp.spec import GridSpec
@@ -148,7 +152,7 @@ print(f"    INBAC: 0 violations in {inbac.schedules_run} schedules; "
       f"{len(shrunk)} decision(s) replays deterministically")
 EOF
 
-echo "==> [9/10] cluster-exploration smoke (invariant battery + injected bug)"
+echo "==> [9/11] cluster-exploration smoke (invariant battery + injected bug)"
 python - <<'EOF'
 import sys
 sys.path.insert(0, "tests")  # the injected-bug fixture lives in the test tree
@@ -179,7 +183,41 @@ print(f"    INBAC: battery clean over {clean.schedules_run} schedules; "
       f"{len(hits[0].shrunk)} decision")
 EOF
 
-echo "==> [10/10] determinism lint + runtime sanitizer"
+echo "==> [10/11] determinism lint + runtime sanitizer"
 python -m repro.lint src benchmarks tests --sanitize
+
+echo "==> [11/11] runtime round-trip (asyncio transport, hard timeout)"
+python - <<'EOF2'
+import signal
+
+# a hard wall-clock ceiling for the whole stage: a runtime deadlock must
+# fail the smoke, not hang it
+def _expired(signum, frame):
+    raise TimeoutError("runtime round-trip exceeded the 120 s stage budget")
+
+signal.signal(signal.SIGALRM, _expired)
+signal.alarm(120)
+
+from repro.protocols.base import COMMIT
+from repro.protocols.registry import protocol_names
+from repro.runtime import run_commit
+
+n, f = 4, 1
+for name in protocol_names():
+    # the timer-driven protocols only terminate while the synchronous-model
+    # assumption holds on the wall clock; a loop stall under host load
+    # violates it, so a bounded retry is the correct harness response
+    for _ in range(3):
+        result = run_commit(name, n, f, [1] * n, timeout_units=200.0)
+        if not result.timed_out:
+            break
+    assert not result.timed_out, f"{name} timed out on the asyncio runtime"
+    assert result.errors == [], (name, result.errors)
+    assert result.all_agree and result.decision == COMMIT, (name, result.decisions)
+    assert len(result.decisions) == n, (name, result.decisions)
+signal.alarm(0)
+print(f"    {len(protocol_names())} protocols committed for real over AsyncEnv")
+EOF2
+python -m pytest tests/test_packaging.py -q
 
 echo "smoke: OK"

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.consensus.interfaces import ConsensusComponent
-from repro.sim.process import Process
+from repro.env import Process
 
 
 class FixedLeaderConsensus(ConsensusComponent):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.sim.process import Process, ProcessComponent
+from repro.env import Process, ProcessComponent
 
 
 class ConsensusComponent(ProcessComponent):

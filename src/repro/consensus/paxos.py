@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.consensus.interfaces import ConsensusComponent
-from repro.sim.process import Process
+from repro.env import Process
 
 _NO_BALLOT = -1
 

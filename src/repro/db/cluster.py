@@ -1,15 +1,30 @@
-"""Cluster driver: partitions + coordinator + scheduler, with reporting.
+"""Cluster driver: partitions + coordinator + a runtime backend, with reporting.
 
 :func:`run_cluster` wires a set of :class:`~repro.db.partition.PartitionServer`
-processes and one :class:`~repro.db.coordinator.ClientCoordinator` onto the
-discrete-event scheduler, runs a transaction workload with the configured
-commit protocol, and returns a :class:`ClusterReport` with per-transaction
-outcomes, message statistics and the cluster-invariant battery
+processes and one :class:`~repro.db.coordinator.ClientCoordinator` onto a
+runtime backend, runs a transaction workload with the configured commit
+protocol, and returns a :class:`ClusterReport` with per-transaction outcomes,
+message statistics and the cluster-invariant battery
 (:mod:`repro.db.invariants`) evaluated on the final partition state.  The
 database benchmark (experiment E7) runs this once per commit protocol and
 compares commit latency and message volume.
 
-A run may also be placed under a schedule controller
+Two backends serve the same cluster code:
+
+* ``backend="sim"`` (the default) — the discrete-event scheduler: virtual
+  time, deterministic, supports delay models, fault plans and schedule
+  controllers.  This is the measurement oracle.
+* ``backend="asyncio"`` — the wall-clock transport runtime
+  (:func:`repro.runtime.cluster.run_cluster_async`): the *same* partition,
+  coordinator and commit-protocol classes on ``asyncio`` queues, with real
+  concurrency.  Schedule controllers and delay models are simulator-only and
+  rejected here; crash schedules (``fault_plan.crashes``) carry over.
+
+The construction seam is the trio :func:`build_partition`,
+:func:`build_client`, :func:`build_report` — each backend builds the same
+processes and renders the same report shape from its own trace source.
+
+A sim run may also be placed under a schedule controller
 (:class:`~repro.explore.ScheduleController`, via ``ClusterConfig.controller``):
 the controller sees every scheduler event of the cluster — client submissions,
 ``EXEC`` deliveries, embedded commit-protocol messages and timers — and may
@@ -24,7 +39,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.db.coordinator import ClientCoordinator, TransactionOutcome
 from repro.db.invariants import InvariantReport, check_cluster
@@ -36,6 +51,9 @@ from repro.protocols.registry import get_protocol
 from repro.sim.faults import FaultPlan
 from repro.sim.network import DelayModel, FixedDelay
 from repro.sim.runner import Scheduler
+
+#: the runtime backends run_cluster can dispatch to
+BACKENDS = ("sim", "asyncio")
 
 
 @dataclass
@@ -107,6 +125,8 @@ class ClusterReport:
     #: canonical trace fingerprint; only computed for controlled runs, where
     #: it backs the replay-determinism guarantee
     trace_fingerprint: Optional[str] = None
+    #: which runtime produced this report ("sim" or "asyncio")
+    backend: str = "sim"
 
     # -- aggregates -------------------------------------------------------- #
     @property
@@ -155,19 +175,137 @@ class ClusterReport:
         }
 
 
-def run_cluster(
-    config: ClusterConfig, transactions: Sequence[Transaction]
+# --------------------------------------------------------------------------- #
+# the construction seam shared by every backend
+# --------------------------------------------------------------------------- #
+def cluster_shape(config: ClusterConfig) -> Tuple[int, int, int]:
+    """``(n, f, client_pid)`` of the cluster's process set.
+
+    Partitions are P1..Pk, the client coordinator is P(k+1); ``f = k`` so any
+    crash plan over the partitions is admissible.
+    """
+    partitions = config.num_partitions
+    return partitions + 1, partitions, partitions + 1
+
+
+def build_partition(
+    pid: int, n: int, f: int, env: Any, config: ClusterConfig
+) -> PartitionServer:
+    """One partition server, identically configured on every backend."""
+    return PartitionServer(
+        pid,
+        n,
+        f,
+        env,
+        commit_protocol=config.resolve_protocol(),
+        commit_f=config.commit_f,
+        protocol_kwargs=config.protocol_kwargs,
+    )
+
+
+def build_client(
+    pid: int,
+    n: int,
+    f: int,
+    env: Any,
+    config: ClusterConfig,
+    transactions: Sequence[Transaction],
+) -> ClientCoordinator:
+    """The client coordinator, identically configured on every backend."""
+    return ClientCoordinator(
+        pid,
+        n,
+        f,
+        env,
+        workload=list(transactions),
+        prepare_margin=config.prepare_margin,
+    )
+
+
+def build_report(
+    config: ClusterConfig,
+    client: ClientCoordinator,
+    partition_servers: Mapping[int, PartitionServer],
+    *,
+    messages_total: int,
+    messages_by_module: Dict[str, int],
+    end_time: float,
+    messages_until_last_decision: int,
+    execution_class: str,
+    crashes: Dict[int, float],
+    schedule_decisions: Sequence[Tuple[int, str, Any]] = (),
+    trace_fingerprint: Optional[str] = None,
+    backend: str = "sim",
 ) -> ClusterReport:
-    """Run a workload of transactions on a simulated cluster."""
+    """Render the backend-independent report: outcomes, state, invariants."""
+    partition_stats = {
+        pid: dict(server.statistics) for pid, server in partition_servers.items()
+    }
+    store_snapshots = {
+        pid: server.store.snapshot() for pid, server in partition_servers.items()
+    }
+    return ClusterReport(
+        protocol=config.protocol_label(),
+        num_partitions=config.num_partitions,
+        outcomes=list(client.outcomes.values()),
+        messages_total=messages_total,
+        messages_by_module=messages_by_module,
+        end_time=end_time,
+        partition_stats=partition_stats,
+        store_snapshots=store_snapshots,
+        messages_until_last_decision=messages_until_last_decision,
+        execution_class=execution_class,
+        crashes=crashes,
+        invariants=check_cluster(partition_servers),
+        pending_transactions=client.pending_transactions(),
+        in_doubt_by_partition={
+            pid: in_doubt
+            for pid, server in partition_servers.items()
+            if (in_doubt := server.in_doubt_transactions())
+        },
+        schedule_decisions=list(schedule_decisions),
+        trace_fingerprint=trace_fingerprint,
+        backend=backend,
+    )
+
+
+def _validate(config: ClusterConfig, transactions: Sequence[Transaction]) -> None:
     if config.num_partitions < 2:
         raise ConfigurationError("a cluster needs at least 2 partitions")
     if not transactions:
         raise ConfigurationError("the workload is empty")
+
+
+def run_cluster(
+    config: ClusterConfig,
+    transactions: Sequence[Transaction],
+    backend: str = "sim",
+) -> ClusterReport:
+    """Run a workload of transactions on a cluster, on the chosen backend."""
+    if backend == "sim":
+        return _run_cluster_sim(config, transactions)
+    if backend == "asyncio":
+        # imported lazily: the runtime package must stay optional for the
+        # deterministic sim path (and the import direction db -> runtime
+        # exists only inside this dispatch)
+        from repro.runtime.cluster import run_cluster_async
+
+        return run_cluster_async(config, transactions)
+    raise ConfigurationError(
+        f"unknown cluster backend {backend!r}; known: {', '.join(BACKENDS)}"
+    )
+
+
+def _run_cluster_sim(
+    config: ClusterConfig, transactions: Sequence[Transaction]
+) -> ClusterReport:
+    """The discrete-event backend (virtual time, deterministic)."""
+    _validate(config, transactions)
+    n, f, client_pid = cluster_shape(config)
     partitions = config.num_partitions
-    client_pid = partitions + 1
     scheduler = Scheduler(
-        n=partitions + 1,
-        f=partitions,  # permits any crash plan over the partitions
+        n=n,
+        f=f,  # permits any crash plan over the partitions
         delay_model=config.delay_model or FixedDelay(1.0),
         fault_plan=config.fault_plan,
         seed=config.seed,
@@ -176,28 +314,13 @@ def run_cluster(
         trace_level=config.trace_level,
         controller=config.controller,
     )
-    protocol_cls = config.resolve_protocol()
 
     for pid in range(1, partitions + 1):
         scheduler.bind_process(
-            pid,
-            PartitionServer(
-                pid,
-                partitions + 1,
-                partitions,
-                scheduler.env_for(pid),
-                commit_protocol=protocol_cls,
-                commit_f=config.commit_f,
-                protocol_kwargs=config.protocol_kwargs,
-            ),
+            pid, build_partition(pid, n, f, scheduler.env_for(pid), config)
         )
-    client = ClientCoordinator(
-        client_pid,
-        partitions + 1,
-        partitions,
-        scheduler.env_for(client_pid),
-        workload=list(transactions),
-        prepare_margin=config.prepare_margin,
+    client = build_client(
+        client_pid, n, f, scheduler.env_for(client_pid), config, transactions
     )
     scheduler.bind_process(client_pid, client)
     for process in scheduler.processes.values():
@@ -220,35 +343,21 @@ def run_cluster(
     partition_servers = {
         pid: scheduler.processes[pid] for pid in range(1, partitions + 1)
     }
-    partition_stats = {
-        pid: dict(server.statistics) for pid, server in partition_servers.items()
-    }
-    store_snapshots = {
-        pid: server.store.snapshot() for pid, server in partition_servers.items()
-    }
-    return ClusterReport(
-        protocol=config.protocol_label(),
-        num_partitions=partitions,
-        outcomes=list(client.outcomes.values()),
+    return build_report(
+        config,
+        client,
+        partition_servers,
         messages_total=trace.message_count(),
         messages_by_module=messages_by_module,
         end_time=trace.end_time,
-        partition_stats=partition_stats,
-        store_snapshots=store_snapshots,
         messages_until_last_decision=messages_until_last,
         execution_class=scheduler.execution_class(),
         crashes=dict(trace.crashes),
-        invariants=check_cluster(partition_servers),
-        pending_transactions=client.pending_transactions(),
-        in_doubt_by_partition={
-            pid: in_doubt
-            for pid, server in partition_servers.items()
-            if (in_doubt := server.in_doubt_transactions())
-        },
         schedule_decisions=list(scheduler.applied_schedule_actions),
         # the fingerprint is O(trace); only controlled runs need it (replay
         # determinism), uncontrolled sweeps keep the fast path
         trace_fingerprint=(
             trace.fingerprint() if config.controller is not None else None
         ),
+        backend="sim",
     )

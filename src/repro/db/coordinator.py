@@ -11,10 +11,10 @@ latency when the first participant reports ``DONE``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.db.transaction import Transaction
-from repro.sim.process import Process
+from repro.env import Process
 
 
 @dataclass
@@ -64,6 +64,10 @@ class ClientCoordinator(Process):
         self.workload = list(workload)
         self.prepare_margin = prepare_margin
         self.outcomes: Dict[str, TransactionOutcome] = {}
+        #: optional callback fired when a transaction's outcome is recorded;
+        #: used by the asyncio cluster service to resolve client futures and
+        #: by the cluster drivers to detect completion without polling
+        self.on_outcome: Optional[Callable[[TransactionOutcome], None]] = None
 
     # ------------------------------------------------------------------ #
     # submission
@@ -80,6 +84,15 @@ class ClientCoordinator(Process):
             return
         index = int(name.split("/", 1)[1])
         self._submit(self.workload[index])
+
+    def submit_transaction(self, txn: Transaction) -> None:
+        """Submit a transaction now (live clients, outside the workload plan).
+
+        Appends the transaction to the workload so completion queries and
+        pending-transaction reports account for it like any planned one.
+        """
+        self.workload.append(txn)
+        self._submit(txn)
 
     def _submit(self, txn: Transaction) -> None:
         participants = txn.participants()
@@ -115,6 +128,8 @@ class ClientCoordinator(Process):
         outcome.decision = decision
         outcome.decide_time = decide_time
         outcome.ack_time = self.now()
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
 
     # ------------------------------------------------------------------ #
     # queries used by the cluster driver

@@ -11,7 +11,7 @@ it participates in, it:
 3. runs an **embedded instance** of the configured atomic-commit protocol
    among the transaction's participants — any protocol from
    :mod:`repro.protocols` can be plugged in unchanged because the embedded
-   environment exposes the same :class:`~repro.sim.process.ProcessEnv`
+   environment exposes the same :class:`~repro.env.ProcessEnv`
    interface the simulator gives to stand-alone protocol processes;
 4. on decision, logs ``COMMIT``/``ABORT``, applies the write set to the
    versioned store (commit only), releases the locks and acknowledges the
@@ -31,7 +31,7 @@ from repro.db.wal import PREPARE as WAL_PREPARE
 from repro.db.wal import WriteAheadLog
 from repro.protocols.base import ABORT, COMMIT, AtomicCommitProcess
 from repro.protocols.two_phase import TwoPhaseCommit
-from repro.sim.process import Process
+from repro.env import Process
 
 _TXN_TAG = "__txn__"
 _TIMER_PREFIX = "txn/"

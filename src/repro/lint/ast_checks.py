@@ -107,9 +107,19 @@ class Rule:
     description: str = ""
     #: which tree kinds the rule runs over by default
     kinds: Tuple[str, ...] = ("src",)
+    #: repo-relative posix path prefixes the rule is scoped *out* of — the
+    #: per-package policy (see ``repro.lint.rules.SCOPE_EXEMPTIONS``); unlike
+    #: an allowlist pragma this silences the rule for a whole package whose
+    #: purpose conflicts with it, with the justification kept at the policy
+    #: table instead of sprayed across call sites
+    exempt_prefixes: Tuple[str, ...] = ()
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.kind in self.kinds
+        if ctx.kind not in self.kinds:
+            return False
+        return not any(
+            ctx.relpath.startswith(prefix) for prefix in self.exempt_prefixes
+        )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
         raise NotImplementedError

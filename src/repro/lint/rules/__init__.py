@@ -3,11 +3,20 @@
 ``default_rules()`` assembles one instance of every built-in rule; the CLI
 and the test suite both go through it so the active rule set has a single
 definition point.
+
+Per-package scoping
+-------------------
+Some packages exist precisely to do what a rule forbids.  Rather than
+spraying ``# lint: allow[...]`` pragmas over every call site (noise that
+drowns the allowlist audit), the registry scopes such a rule *out* of the
+package wholesale via :data:`SCOPE_EXEMPTIONS` — rule id to repo-relative
+path prefixes, each entry justified in place.  Every other rule still runs
+over those files, and the exempted rule still runs everywhere else.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.lint.ast_checks import Rule
 from repro.lint.rules.determinism import (
@@ -24,6 +33,7 @@ from repro.lint.rules.spawn_safety import SpawnSafetyRule
 
 __all__ = [
     "default_rules",
+    "SCOPE_EXEMPTIONS",
     "IdHashOrderingRule",
     "UnorderedIterationRule",
     "WallClockAndGlobalRandomRule",
@@ -33,9 +43,21 @@ __all__ = [
     "SpawnSafetyRule",
 ]
 
+#: rule id -> repo-relative path prefixes (posix) the rule does not run under.
+#: Keep this table small and every entry justified: an exemption here must be
+#: *definitional* (the package's purpose conflicts with the rule), never a
+#: convenience.
+SCOPE_EXEMPTIONS: Dict[str, Tuple[str, ...]] = {
+    # The asyncio transport runtime exists to run the protocols on the wall
+    # clock: time.monotonic() is its clock source, not an accident.  The
+    # determinism contract is carried by the simulator, which stays fully
+    # covered; DET002 still runs over everything else under src/.
+    "DET002": ("src/repro/runtime/",),
+}
+
 
 def default_rules() -> List[Rule]:
-    return [
+    rules: List[Rule] = [
         UnorderedIterationRule(),
         WallClockAndGlobalRandomRule(),
         IdHashOrderingRule(),
@@ -44,3 +66,6 @@ def default_rules() -> List[Rule]:
         UnsortedFoldRule(),
         SpawnSafetyRule(),
     ]
+    for rule in rules:
+        rule.exempt_prefixes = SCOPE_EXEMPTIONS.get(rule.rule_id, ())
+    return rules

@@ -28,7 +28,7 @@ from typing import Any, Callable, Iterable, Optional
 
 from repro.consensus.interfaces import ConsensusComponent
 from repro.consensus.paxos import PaxosConsensus
-from repro.sim.process import Process, ProcessEnv
+from repro.env import Process, ProcessEnv
 
 COMMIT = 1
 ABORT = 0
@@ -48,7 +48,7 @@ class AtomicCommitProcess(Process):
     Parameters
     ----------
     pid, n, f, env:
-        See :class:`~repro.sim.process.Process`.
+        See :class:`~repro.env.Process`.
     consensus_class:
         Implementation used for the underlying uniform-consensus module when
         the protocol needs one.  Defaults to Paxos; tests may substitute

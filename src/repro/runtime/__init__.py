@@ -1,0 +1,67 @@
+"""The asyncio transport runtime: the wall-clock twin of the simulator.
+
+Every protocol and database process in this repository is written against the
+runtime-neutral :class:`~repro.env.ProcessEnv` contract.  This package is the
+second implementation of that contract (the first is the discrete-event
+simulator, :mod:`repro.sim.runner`): in-process ``asyncio.Queue`` links, real
+concurrency, wall-clock timers scaled so one unit of simulated time ``U``
+maps to ``AsyncRuntime.unit`` seconds.  The *identical, unmodified* protocol
+classes — INBAC, 2PC, 3PC, Paxos commit and the rest of the registry — commit
+real transactions here, which is the strongest evidence the reproduction's
+protocol logic does not secretly depend on simulator scheduling.
+
+Layout:
+
+* :mod:`~repro.runtime.transport` — :class:`LocalTransport` (queues) and
+  :class:`LinkPolicy` (per-link delay / jitter / drop injection);
+* :mod:`~repro.runtime.node` — :class:`AsyncEnv` (the contract impl) and
+  :class:`AsyncNode` (one inbox-draining consumer per process, so handlers
+  stay single-threaded per process exactly as under the simulator);
+* :mod:`~repro.runtime.runtime` — :class:`AsyncRuntime` (timers, decide-once
+  ledger, crash injection) and :func:`run_commit` (one commit instance,
+  synchronous entry point);
+* :mod:`~repro.runtime.cluster` — the transactional KV cluster:
+  :func:`run_cluster_async` (batch) and :class:`AsyncClusterService` (live
+  concurrent clients);
+* :mod:`~repro.runtime.conformance` — :class:`AsyncHarness` for the
+  executable contract suite in :mod:`repro.env.conformance`.
+
+This package intentionally reads the wall clock; the determinism lint rule
+DET002 is scoped out of ``src/repro/runtime/`` (see :mod:`repro.lint.rules`).
+The simulator remains the deterministic oracle — nothing under
+:mod:`repro.sim`, :mod:`repro.db` (sim backend) or :mod:`repro.exp` imports
+this package except through the explicit backend dispatch in
+:func:`repro.db.cluster.run_cluster`.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cluster import (
+    AsyncClusterService,
+    DEFAULT_CLUSTER_UNIT_SECONDS,
+    run_cluster_async,
+)
+from repro.runtime.conformance import AsyncHarness
+from repro.runtime.node import AsyncEnv, AsyncNode
+from repro.runtime.runtime import (
+    AsyncRuntime,
+    CommitRunResult,
+    DEFAULT_UNIT_SECONDS,
+    run_commit,
+)
+from repro.runtime.transport import LinkPolicy, LocalTransport
+
+__all__ = [
+    "AsyncClusterService",
+    "AsyncEnv",
+    "AsyncHarness",
+    "AsyncNode",
+    "AsyncRuntime",
+    "CommitRunResult",
+    "DEFAULT_CLUSTER_UNIT_SECONDS",
+    "DEFAULT_UNIT_SECONDS",
+    "LinkPolicy",
+    "LocalTransport",
+    "run_cluster_async",
+    "run_commit",
+]

@@ -1,0 +1,275 @@
+"""The transactional KV cluster served by the asyncio runtime.
+
+Runs the *same* :class:`~repro.db.partition.PartitionServer` and
+:class:`~repro.db.coordinator.ClientCoordinator` classes the simulator runs —
+built through the shared construction seam in :mod:`repro.db.cluster` — on
+wall-clock asyncio queues.  Two entry points:
+
+* :func:`run_cluster_async` — batch mode, mirroring
+  :func:`repro.db.cluster.run_cluster`: the coordinator submits a planned
+  workload from its own timers (the identical code path as under the
+  simulator) and the run ends when every transaction has an outcome or the
+  time budget expires.  Returns the same :class:`~repro.db.cluster.ClusterReport`.
+* :class:`AsyncClusterService` — live mode: ``await service.submit(txn)``
+  from any number of concurrent client coroutines, crash partitions mid-run,
+  then ``await service.shutdown()`` for the report (invariant battery
+  included, evaluated on the surviving state).
+
+Simulator-only features (``delay_model``, ``controller``) are rejected with a
+:class:`~repro.errors.ConfigurationError`; runtime fault injection instead
+goes through :class:`~repro.runtime.transport.LinkPolicy` (per-link delay,
+jitter, drop) and ``fault_plan.crashes`` (which carries over unchanged).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.db.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    _validate,
+    build_client,
+    build_partition,
+    build_report,
+    cluster_shape,
+)
+from repro.db.coordinator import ClientCoordinator, TransactionOutcome
+from repro.db.transaction import Transaction
+from repro.errors import ConfigurationError
+from repro.runtime.runtime import AsyncRuntime
+from repro.runtime.transport import LinkPolicy, LocalTransport
+
+#: clusters run a finer clock than bare protocol runs: commit timers span
+#: tens of units, so 10 ms per U keeps batch runs short while still dwarfing
+#: the local queue hop
+DEFAULT_CLUSTER_UNIT_SECONDS = 0.01
+
+
+def _check_runtime_config(config: ClusterConfig) -> None:
+    if config.controller is not None:
+        raise ConfigurationError(
+            "schedule controllers are simulator-only; the asyncio backend "
+            "cannot replay controlled schedules"
+        )
+    if config.delay_model is not None:
+        raise ConfigurationError(
+            "delay models are simulator-only; configure LinkPolicy delays "
+            "on the asyncio backend instead"
+        )
+
+
+def _execution_class(
+    transport: LocalTransport, crashes: Dict[int, float]
+) -> str:
+    """The runtime analogue of the simulator's execution classification."""
+    if transport.dropped > 0 or transport.worst_case_delay_units() > 1.0:
+        return "network-failure"
+    if crashes:
+        return "crash-failure"
+    return "failure-free"
+
+
+class AsyncClusterService:
+    """A live transactional KV cluster on the asyncio runtime.
+
+    Usage::
+
+        service = AsyncClusterService(ClusterConfig(commit_protocol="INBAC"))
+        await service.start()
+        outcome = await service.submit(txn)        # from any coroutine
+        service.crash_partition(2)                 # fault injection
+        report = await service.shutdown()          # invariants included
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        *,
+        unit: float = DEFAULT_CLUSTER_UNIT_SECONDS,
+        default_link_policy: Optional[LinkPolicy] = None,
+        link_policies: Optional[Dict[Tuple[int, int], LinkPolicy]] = None,
+    ):
+        _check_runtime_config(config)
+        if config.num_partitions < 2:
+            raise ConfigurationError("a cluster needs at least 2 partitions")
+        self.config = config
+        self.unit = unit
+        n, f, client_pid = cluster_shape(config)
+        self.client_pid = client_pid
+        self.transport = LocalTransport(unit=unit, seed=config.seed)
+        if default_link_policy is not None:
+            self.transport.set_default_policy(default_link_policy)
+        for (src, dst), policy in sorted((link_policies or {}).items()):
+            self.transport.set_link_policy(src, dst, policy)
+        self.runtime = AsyncRuntime(
+            n, f, unit=unit, seed=config.seed, transport=self.transport
+        )
+        self.client: Optional[ClientCoordinator] = None
+        self._waiters: Dict[str, asyncio.Future] = {}
+        self._crash_tasks: list = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self, workload: Sequence[Transaction] = ()) -> None:
+        """Boot partitions and coordinator; optionally preload a workload."""
+        n, f, _ = cluster_shape(self.config)
+        for pid in range(1, self.config.num_partitions + 1):
+            self.runtime.bind_process(
+                pid,
+                build_partition(pid, n, f, self.runtime.env_for(pid), self.config),
+            )
+        self.client = build_client(
+            self.client_pid,
+            n,
+            f,
+            self.runtime.env_for(self.client_pid),
+            self.config,
+            workload,
+        )
+        self.client.on_outcome = self._on_outcome
+        self.runtime.bind_process(self.client_pid, self.client)
+        await self.runtime.start()
+        for pid in range(1, n + 1):
+            self.runtime.call(pid, lambda process: process.on_start())
+        if self.config.fault_plan is not None:
+            for pid in sorted(self.config.fault_plan.crashes):
+                at_units = self.config.fault_plan.crashes[pid]
+                self._crash_tasks.append(
+                    asyncio.get_running_loop().create_task(
+                        self._crash_later(pid, at_units)
+                    )
+                )
+        self._started = True
+
+    async def _crash_later(self, pid: int, at_units: float) -> None:
+        delay_units = max(0.0, at_units - self.runtime.now_units())
+        if delay_units > 0:
+            await asyncio.sleep(delay_units * self.unit)
+        self.crash_partition(pid)
+
+    def _on_outcome(self, outcome: TransactionOutcome) -> None:
+        waiter = self._waiters.pop(outcome.txn_id, None)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(outcome)
+
+    # ------------------------------------------------------------------ #
+    # the client surface
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self, txn: Transaction, *, timeout_units: Optional[float] = None
+    ) -> Optional[TransactionOutcome]:
+        """Submit one transaction and await its outcome.
+
+        Returns None when no outcome arrived within ``timeout_units``
+        (default: the config's ``max_time``) — e.g. because a participant
+        partition crashed; the transaction then shows up in the report's
+        pending/in-doubt sections.
+        """
+        if not self._started or self.client is None:
+            raise ConfigurationError("service not started")
+        budget = self.config.max_time if timeout_units is None else timeout_units
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters[txn.txn_id] = waiter
+        self.runtime.call(
+            self.client_pid, lambda process: process.submit_transaction(txn)
+        )
+        try:
+            return await asyncio.wait_for(waiter, timeout=budget * self.unit)
+        except asyncio.TimeoutError:
+            self._waiters.pop(txn.txn_id, None)
+            return None
+
+    def crash_partition(self, pid: int) -> None:
+        """Crash-stop a partition (or the coordinator) right now."""
+        self.runtime.crash(pid)
+
+    async def wait_all_completed(self, timeout_units: float) -> bool:
+        """Wait until the coordinator has an outcome for every transaction."""
+        if self.client is None:
+            raise ConfigurationError("service not started")
+        deadline = self.runtime.now_units() + timeout_units
+        while not self.client.all_completed():
+            if self.runtime.now_units() >= deadline:
+                return False
+            await asyncio.sleep(self.unit / 2)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # tear-down and reporting
+    # ------------------------------------------------------------------ #
+    async def shutdown(self) -> ClusterReport:
+        """Stop the runtime and render the report from the surviving state."""
+        if self.client is None:
+            raise ConfigurationError("service not started")
+        end_time = self.runtime.now_units()
+        pending_crashes = [t for t in self._crash_tasks if not t.done()]
+        for task in pending_crashes:
+            task.cancel()
+        if pending_crashes:
+            await asyncio.gather(*pending_crashes, return_exceptions=True)
+        self._crash_tasks.clear()
+        await self.runtime.stop()
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.cancel()
+        self._waiters.clear()
+        partition_servers = {
+            pid: self.runtime.processes[pid]
+            for pid in range(1, self.config.num_partitions + 1)
+        }
+        crashes = dict(self.runtime.crashes)
+        return build_report(
+            self.config,
+            self.client,
+            partition_servers,
+            messages_total=self.transport.messages_total,
+            messages_by_module=dict(self.transport.messages_by_module),
+            end_time=end_time,
+            # wall-clock runs have no retrospective trace: the best-case
+            # accounting equals the total
+            messages_until_last_decision=self.transport.messages_total,
+            execution_class=_execution_class(self.transport, crashes),
+            crashes=crashes,
+            backend="asyncio",
+        )
+
+
+def run_cluster_async(
+    config: ClusterConfig,
+    transactions: Sequence[Transaction],
+    *,
+    unit: float = DEFAULT_CLUSTER_UNIT_SECONDS,
+    timeout_units: Optional[float] = None,
+    default_link_policy: Optional[LinkPolicy] = None,
+) -> ClusterReport:
+    """Batch counterpart of :func:`repro.db.cluster.run_cluster` on asyncio.
+
+    The coordinator submits the planned workload from its own timers —
+    exactly the code path the simulator drives — and the run ends when every
+    transaction has an outcome or ``timeout_units`` (default: the config's
+    ``max_time``) of scaled wall-clock time elapsed.
+    """
+    _validate(config, transactions)
+    _check_runtime_config(config)
+    budget = config.max_time if timeout_units is None else timeout_units
+
+    async def _main() -> ClusterReport:
+        service = AsyncClusterService(
+            config, unit=unit, default_link_policy=default_link_policy
+        )
+        await service.start(workload=transactions)
+        await service.wait_all_completed(budget)
+        return await service.shutdown()
+
+    return asyncio.run(_main())
+
+
+__all__ = [
+    "AsyncClusterService",
+    "DEFAULT_CLUSTER_UNIT_SECONDS",
+    "run_cluster_async",
+]

@@ -1,0 +1,163 @@
+"""The asyncio transport: in-process links with per-link fault injection.
+
+:class:`LocalTransport` connects the runtime's nodes through one
+``asyncio.Queue`` inbox per process.  Every *link* (an ordered ``(src, dst)``
+pair) carries a :class:`LinkPolicy` — extra delay, uniform jitter and a drop
+probability — applied at the transport boundary, which is exactly where the
+paper's adversary lives: the protocol code above never sees anything but
+``deliver`` events, and the simulator's delay models have their runtime
+counterpart here.  Crashing a process at the transport (``crash(pid)``)
+silences it both ways: nothing it sends leaves, nothing addressed to it is
+delivered — the runtime face of a crash failure.
+
+Delays and drops are drawn from a seeded ``random.Random``, so a given
+policy produces the same drop/delay *choices* across runs; actual arrival
+order still depends on wall-clock scheduling (that nondeterminism is the
+point of the runtime — the simulator remains the deterministic oracle).
+
+Message accounting matches the simulator's convention: messages to self are
+delivered locally and not counted (footnote 10 of the paper); everything
+else increments ``messages_total`` and the per-module histogram at *send*
+time, delivered or not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class LinkPolicy:
+    """Fault-injection knobs of one directed link (times in units of U)."""
+
+    #: fixed extra delay added to every message on the link
+    delay_units: float = 0.0
+    #: uniform extra delay drawn from ``[0, jitter_units]`` per message
+    jitter_units: float = 0.0
+    #: probability a message is silently dropped
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay_units < 0 or self.jitter_units < 0:
+            raise ConfigurationError("link delays must be non-negative")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ConfigurationError("drop_probability must be within [0, 1]")
+
+    @property
+    def max_delay_units(self) -> float:
+        return self.delay_units + self.jitter_units
+
+    @property
+    def faulty(self) -> bool:
+        return self.drop_probability > 0.0 or self.max_delay_units > 0.0
+
+
+class LocalTransport:
+    """In-process asyncio links between the runtime's nodes."""
+
+    def __init__(self, unit: float, seed: int = 0):
+        if unit <= 0:
+            raise ConfigurationError(f"unit must be positive, got {unit}")
+        self.unit = unit
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._queues: Dict[int, asyncio.Queue] = {}
+        self._policies: Dict[Tuple[int, int], LinkPolicy] = {}
+        self._default_policy = LinkPolicy()
+        self._crashed: Set[int] = set()
+        self._delay_tasks: Set[asyncio.Task] = set()
+        #: counted (non-self) messages, by the simulator's convention
+        self.messages_total = 0
+        self.messages_by_module: Dict[str, int] = {}
+        self.dropped = 0
+        self.delayed = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def register(self, pid: int, inbox: asyncio.Queue) -> None:
+        self._queues[pid] = inbox
+
+    def set_default_policy(self, policy: LinkPolicy) -> None:
+        self._default_policy = policy
+
+    def set_link_policy(self, src: int, dst: int, policy: LinkPolicy) -> None:
+        self._policies[(src, dst)] = policy
+
+    def policy_for(self, src: int, dst: int) -> LinkPolicy:
+        return self._policies.get((src, dst), self._default_policy)
+
+    def crash(self, pid: int) -> None:
+        """Silence ``pid`` both ways from this moment on."""
+        self._crashed.add(pid)
+
+    def is_crashed(self, pid: int) -> bool:
+        return pid in self._crashed
+
+    def worst_case_delay_units(self) -> float:
+        """The largest extra delay any configured policy may add."""
+        worst = self._default_policy.max_delay_units
+        for key in sorted(self._policies):
+            worst = max(worst, self._policies[key].max_delay_units)
+        return worst
+
+    # ------------------------------------------------------------------ #
+    # the data path
+    # ------------------------------------------------------------------ #
+    def send(self, src: int, dst: int, payload: Any, module: str = "main") -> None:
+        """Ship one message; called synchronously from inside event handlers."""
+        if dst not in self._queues:
+            raise SimulationError(f"message to unknown process P{dst}")
+        if src != dst:
+            self.messages_total += 1
+            self.messages_by_module[module] = (
+                self.messages_by_module.get(module, 0) + 1
+            )
+        if src in self._crashed or dst in self._crashed:
+            return
+        item = ("deliver", src, payload)
+        if src == dst:
+            # local message to self: immediate, fault-free (not a network hop)
+            self._queues[dst].put_nowait(item)
+            return
+        policy = self.policy_for(src, dst)
+        if policy.drop_probability > 0 and self._rng.random() < policy.drop_probability:
+            self.dropped += 1
+            return
+        delay_units = policy.delay_units
+        if policy.jitter_units > 0:
+            delay_units += self._rng.uniform(0.0, policy.jitter_units)
+        if delay_units <= 0:
+            self._queues[dst].put_nowait(item)
+            return
+        self.delayed += 1
+        task = asyncio.get_running_loop().create_task(
+            self._deliver_later(dst, item, delay_units * self.unit)
+        )
+        self._delay_tasks.add(task)
+        task.add_done_callback(self._delay_tasks.discard)
+
+    async def _deliver_later(self, dst: int, item: tuple, delay_seconds: float) -> None:
+        await asyncio.sleep(delay_seconds)
+        if dst not in self._crashed:
+            queue = self._queues.get(dst)
+            if queue is not None:
+                queue.put_nowait(item)
+
+    async def close(self) -> None:
+        """Cancel every in-flight delayed delivery."""
+        # lint: allow[DET001] cancel-all over wall-clock tasks; order immaterial
+        tasks = [task for task in self._delay_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._delay_tasks.clear()
+
+
+__all__ = ["LinkPolicy", "LocalTransport"]

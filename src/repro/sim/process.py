@@ -1,221 +1,17 @@
-"""The process abstraction: Cachin-style event handlers.
+"""Backward-compatible home of the process abstraction.
 
-Every protocol in this library (atomic commit, consensus, database partitions)
-is written as a subclass of :class:`Process` whose methods mirror the paper's
-pseudocode structure:
-
-* ``on_propose(value)``   — the ``<Propose | v>`` event;
-* ``on_deliver(src, msg)``— the ``<pl, Deliver | p, m>`` event;
-* ``on_timeout(name)``    — the ``<timer, Timeout>`` event.
-
-A process interacts with the world exclusively through its :class:`ProcessEnv`
-(send, set_timer, decide, now), which is provided either by the simulation
-scheduler (:mod:`repro.sim.runner`) or by an embedding adapter (a database
-partition hosting a per-transaction commit instance, or the asyncio runtime).
-This is what lets the very same protocol classes be measured for the paper's
-tables and reused as the commit layer of the transactional key-value store.
-
-Sub-modules
------------
-Protocols that rely on an underlying service (the consensus module ``uc`` /
-``iuc`` in the paper) attach a *component* to the process.  Components receive
-the messages addressed to them through a module-tagged envelope
-``("__mod__", module_name, inner_payload)`` and share the host's timers via
-namespaced timer names (``"module:name"``).
+The Cachin-style event-handler contract (:class:`Process`,
+:class:`ProcessComponent`, :class:`ProcessEnv`, the module envelope) used to
+be defined here; it now lives in the runtime-neutral :mod:`repro.env`, where
+both the discrete-event simulator (:mod:`repro.sim.runner`) and the asyncio
+transport runtime (:mod:`repro.runtime`) — plus every embedding adapter, such
+as the database partitions' per-transaction commit environments — implement
+it.  This module re-exports the contract so existing imports keep working;
+new code should import from :mod:`repro.env` directly.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Protocol
+from repro.env import MODULE_ENVELOPE, Process, ProcessComponent, ProcessEnv
 
-from repro.errors import ProtocolViolationError
-
-MODULE_ENVELOPE = "__mod__"
-
-
-class ProcessEnv(Protocol):
-    """The environment a process runs in (simulation, embedded, or asyncio)."""
-
-    def send(self, dst: int, payload: Any, module: str = "main") -> None:
-        """Send ``payload`` to process ``dst`` over a perfect point-to-point link."""
-        ...  # pragma: no cover
-
-    def set_timer(self, at_units: float, name: str = "timer") -> None:
-        """(Re-)arm the named timer to fire at absolute time ``at_units`` (units of U)."""
-        ...  # pragma: no cover
-
-    def cancel_timer(self, name: str = "timer") -> None:
-        """Disarm the named timer if pending."""
-        ...  # pragma: no cover
-
-    def decide(self, value: Any) -> None:
-        """Record this process' decision."""
-        ...  # pragma: no cover
-
-    def now(self) -> float:
-        """Current virtual (or wall-clock) time in units of U."""
-        ...  # pragma: no cover
-
-
-class ProcessComponent:
-    """A sub-protocol hosted inside a process (e.g. the consensus module).
-
-    Subclasses override :meth:`on_deliver` and :meth:`on_timeout`; they talk to
-    peers through :meth:`send`, which wraps payloads in the module envelope so
-    the host process on the other side can route them back to the peer
-    component with the same name.
-    """
-
-    def __init__(self, host: "Process", name: str):
-        self.host = host
-        self.name = name
-
-    # -- outgoing ------------------------------------------------------- #
-    def send(self, dst: int, payload: Any) -> None:
-        self.host.env.send(dst, (MODULE_ENVELOPE, self.name, payload), module=self.name)
-
-    def broadcast(self, payload: Any, include_self: bool = True) -> None:
-        for dst in self.host.all_pids():
-            if not include_self and dst == self.host.pid:
-                continue
-            self.send(dst, payload)
-
-    def set_timer(self, at_units: float, name: str = "timer") -> None:
-        self.host.env.set_timer(at_units, name=f"{self.name}:{name}")
-
-    def cancel_timer(self, name: str = "timer") -> None:
-        self.host.env.cancel_timer(name=f"{self.name}:{name}")
-
-    def now(self) -> float:
-        return self.host.env.now()
-
-    # -- incoming ------------------------------------------------------- #
-    def on_deliver(self, src: int, payload: Any) -> None:  # pragma: no cover - abstract
-        raise NotImplementedError
-
-    def on_timeout(self, name: str) -> None:  # pragma: no cover - abstract
-        raise NotImplementedError
-
-
-class Process:
-    """Base class for all simulated processes.
-
-    Parameters
-    ----------
-    pid:
-        1-based process id, matching the paper's ``P1 ... Pn`` notation.
-    n:
-        Total number of processes.
-    f:
-        Maximum number of processes that may crash (``1 <= f <= n - 1``).
-    env:
-        The :class:`ProcessEnv` this process uses to interact with the world.
-    """
-
-    def __init__(self, pid: int, n: int, f: int, env: ProcessEnv):
-        self.pid = pid
-        self.n = n
-        self.f = f
-        self.env = env
-        self.crashed = False
-        self._components: Dict[str, ProcessComponent] = {}
-
-    # ------------------------------------------------------------------ #
-    # identity helpers mirroring the paper's notation
-    # ------------------------------------------------------------------ #
-    def all_pids(self) -> range:
-        """``Ω`` — every process id, 1..n."""
-        return range(1, self.n + 1)
-
-    def other_pids(self) -> list:
-        """``Ω \\ {self}``."""
-        return [p for p in self.all_pids() if p != self.pid]
-
-    def mod_index(self, i: int) -> int:
-        """The paper's ``%`` convention: modulo n, but 0 maps to n."""
-        r = i % self.n
-        return self.n if r == 0 else r
-
-    # ------------------------------------------------------------------ #
-    # component plumbing
-    # ------------------------------------------------------------------ #
-    def attach_component(self, component: ProcessComponent) -> ProcessComponent:
-        if component.name in self._components:
-            raise ProtocolViolationError(
-                f"component {component.name!r} already attached to P{self.pid}"
-            )
-        self._components[component.name] = component
-        return component
-
-    def component(self, name: str) -> Optional[ProcessComponent]:
-        return self._components.get(name)
-
-    # ------------------------------------------------------------------ #
-    # convenience wrappers over the environment
-    # ------------------------------------------------------------------ #
-    def send(self, dst: int, payload: Any) -> None:
-        self.env.send(dst, payload)
-
-    def send_all(self, payload: Any, include_self: bool = True) -> None:
-        """Send to every process in ``Ω`` (``forall q ∈ Ω`` in the pseudocode)."""
-        for dst in self.all_pids():
-            if not include_self and dst == self.pid:
-                continue
-            self.env.send(dst, payload)
-
-    def set_timer(self, at_units: float, name: str = "timer") -> None:
-        self.env.set_timer(at_units, name=name)
-
-    def decide(self, value: Any) -> None:
-        self.env.decide(value)
-
-    def now(self) -> float:
-        return self.env.now()
-
-    # ------------------------------------------------------------------ #
-    # event dispatch (called by the scheduler / embedding adapter)
-    # ------------------------------------------------------------------ #
-    def deliver(self, src: int, payload: Any) -> None:
-        """Route an incoming message either to a component or to the protocol."""
-        if (
-            isinstance(payload, tuple)
-            and len(payload) == 3
-            and payload[0] == MODULE_ENVELOPE
-        ):
-            _, module_name, inner = payload
-            component = self._components.get(module_name)
-            if component is not None:
-                component.on_deliver(src, inner)
-            return
-        self.on_deliver(src, payload)
-
-    def timeout(self, name: str) -> None:
-        """Route a timer expiry either to a component or to the protocol."""
-        if ":" in name:
-            module_name, inner_name = name.split(":", 1)
-            component = self._components.get(module_name)
-            if component is not None:
-                component.on_timeout(inner_name)
-                return
-        self.on_timeout(name)
-
-    # ------------------------------------------------------------------ #
-    # handlers protocols override
-    # ------------------------------------------------------------------ #
-    def on_start(self) -> None:
-        """Called once, at time 0, before any propose/deliver event."""
-
-    def on_propose(self, value: Any) -> None:  # pragma: no cover - abstract
-        raise NotImplementedError
-
-    def on_deliver(self, src: int, payload: Any) -> None:  # pragma: no cover - abstract
-        raise NotImplementedError
-
-    def on_timeout(self, name: str) -> None:  # pragma: no cover - abstract
-        raise NotImplementedError
-
-    def on_crash(self) -> None:
-        """Hook invoked when the fault plan crashes this process."""
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}(P{self.pid}, n={self.n}, f={self.f})"
+__all__ = ["MODULE_ENVELOPE", "Process", "ProcessComponent", "ProcessEnv"]

@@ -77,14 +77,14 @@ from repro.sim.events import (
 )
 from repro.sim.faults import FaultPlan
 from repro.sim.network import DelayModel, FixedDelay, Network
-from repro.sim.process import Process
+from repro.env import Process
 from repro.sim.trace import TRACE_LEVELS, CounterTrace, MessageRecord, Trace
 
 ProcessFactory = Callable[[int, int, int, "SimEnv"], Process]
 
 
 class SimEnv:
-    """The :class:`~repro.sim.process.ProcessEnv` provided by the scheduler."""
+    """The :class:`~repro.env.ProcessEnv` provided by the scheduler."""
 
     def __init__(self, scheduler: "Scheduler", pid: int):
         self._scheduler = scheduler

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import signal
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 import pytest
@@ -57,6 +58,35 @@ def assert_all_decided(result: SimulationResult, value: Optional[int] = None) ->
 def assert_agreement(result: SimulationResult) -> None:
     values = {rec.value for rec in result.trace.decisions.values()}
     assert len(values) <= 1, f"agreement violated: {result.trace.decisions}"
+
+
+#: hard wall-clock ceiling for one @pytest.mark.runtime test, in seconds.
+#: Generous: runtime tests are tuned to finish in well under a second each;
+#: the guard only exists so a runtime deadlock fails the suite instead of
+#: hanging it (pytest-timeout is not available in this environment).
+RUNTIME_TEST_TIMEOUT_SECONDS = 60.0
+
+
+@pytest.fixture(autouse=True)
+def _runtime_timeout_guard(request):
+    """SIGALRM-based per-test timeout for wall-clock runtime tests."""
+    if request.node.get_closest_marker("runtime") is None:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"runtime test exceeded {RUNTIME_TEST_TIMEOUT_SECONDS:.0f}s "
+            "wall-clock guard (likely a deadlocked event loop)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, RUNTIME_TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -137,6 +137,62 @@ class TestEngine:
             )
 
 
+# --------------------------------------------------------------------------- #
+# per-package rule scoping (SCOPE_EXEMPTIONS)
+# --------------------------------------------------------------------------- #
+class TestScopeExemptions:
+    def test_policy_table_names_known_rules_and_posix_prefixes(self):
+        from repro.lint.rules import SCOPE_EXEMPTIONS
+
+        known = {r.rule_id for r in default_rules()}
+        for rule_id, prefixes in SCOPE_EXEMPTIONS.items():
+            assert rule_id in known
+            assert prefixes, rule_id
+            for prefix in prefixes:
+                assert "\\" not in prefix and prefix.endswith("/"), prefix
+
+    def test_det002_scoped_out_of_the_runtime_package(self):
+        # the exemption must be load-bearing: the runtime really reads the
+        # wall clock, and DET002 really stays silent about it
+        runtime_py = REPO_ROOT / "src" / "repro" / "runtime" / "runtime.py"
+        assert "time.monotonic()" in runtime_py.read_text(encoding="utf-8")
+        report = lint_file(runtime_py, root=REPO_ROOT)
+        assert locations(report, "DET002") == []
+
+    def test_det002_still_fires_outside_the_exempt_prefix(self):
+        report = findings_of("bad_det002_wall_clock.py")
+        assert locations(report, "DET002")
+
+    def test_other_rules_still_cover_the_runtime_package(self):
+        from repro.lint.ast_checks import load_context
+        from repro.lint.rules import (
+            UnorderedIterationRule,
+            WallClockAndGlobalRandomRule,
+        )
+
+        ctx = load_context(
+            REPO_ROOT / "src" / "repro" / "runtime" / "runtime.py",
+            root=REPO_ROOT,
+        )
+        assert ctx.relpath == "src/repro/runtime/runtime.py"
+        scoped = {r.rule_id: r for r in default_rules()}
+        assert not scoped["DET002"].applies_to(ctx)
+        assert scoped["DET001"].applies_to(ctx)
+        # fresh instances carry no exemption: the policy lives in the
+        # registry, not hard-coded into the rule classes
+        assert WallClockAndGlobalRandomRule().applies_to(ctx)
+        assert UnorderedIterationRule().applies_to(ctx)
+
+    def test_exempt_prefix_does_not_leak_to_sibling_paths(self):
+        from repro.lint.ast_checks import load_context
+
+        ctx = load_context(
+            REPO_ROOT / "src" / "repro" / "sim" / "runner.py", root=REPO_ROOT
+        )
+        scoped = {r.rule_id: r for r in default_rules()}
+        assert scoped["DET002"].applies_to(ctx)
+
+
 class TestCli:
     def test_cli_exit_zero_on_clean_tree(self, monkeypatch, capsys):
         monkeypatch.chdir(REPO_ROOT)

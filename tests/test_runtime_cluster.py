@@ -1,0 +1,241 @@
+"""The asyncio runtime serving real commits and the transactional cluster.
+
+Everything here runs on the wall clock (marker: ``runtime``); the conftest
+SIGALRM guard turns a deadlock into a failure instead of a hang.  The
+protocol, partition and coordinator classes under test are byte-for-byte the
+ones the simulator runs — that is the point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.db.cluster import BACKENDS, ClusterConfig, run_cluster
+from repro.errors import ConfigurationError
+from repro.protocols.registry import get_protocol
+from repro.runtime import (
+    AsyncClusterService,
+    LinkPolicy,
+    LocalTransport,
+    run_commit,
+)
+from repro.sim.faults import FaultPlan
+from repro.sim.network import FixedDelay
+from repro.workloads.transactions import bank_transfer_workload, uniform_workload
+
+pytestmark = pytest.mark.runtime
+
+
+# --------------------------------------------------------------------------- #
+# bare commit instances
+# --------------------------------------------------------------------------- #
+class TestRunCommit:
+    def test_crash_of_one_participant_inbac_still_terminates(self):
+        # INBAC is non-blocking for f=1: the surviving three must decide
+        result = run_commit(
+            "INBAC", 4, 1, [1, 1, 1, 1], crash_at={3: 0.5}, timeout_units=120.0
+        )
+        assert not result.timed_out
+        assert result.errors == []
+        assert 3 in result.crashes
+        survivors = {pid: d for pid, d in result.decisions.items() if pid != 3}
+        assert len(survivors) == 3
+        assert len(set(survivors.values())) == 1
+
+    def test_message_counts_at_least_the_nice_execution_bound(self):
+        # fault-free runs are message-driven: at least the registry's
+        # best-case count flows (exactly, unless a loaded host lets a
+        # failure-detection timer fire)
+        for name in ("2PC", "INBAC"):
+            info = get_protocol(name)
+            result = run_commit(name, 4, 1, [1, 1, 1, 1])
+            assert not result.timed_out
+            assert result.messages_total >= info.expected_messages(4, 1)
+
+    def test_vote_validation_and_decide_once_surface_as_errors(self):
+        with pytest.raises(ConfigurationError):
+            run_commit("2PC", 4, 1, [1, 1, 1])  # wrong vote count
+
+    def test_link_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkPolicy(delay_units=-1.0)
+        with pytest.raises(ConfigurationError):
+            LinkPolicy(drop_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            LocalTransport(unit=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# batch cluster runs (run_cluster backend dispatch)
+# --------------------------------------------------------------------------- #
+class TestBatchCluster:
+    def test_backends_registry(self):
+        assert BACKENDS == ("sim", "asyncio")
+        with pytest.raises(ConfigurationError):
+            run_cluster(ClusterConfig(), [object()], backend="threads")
+
+    def test_asyncio_backend_matches_sim_outcomes_fault_free(self):
+        workload = uniform_workload(num_transactions=5, num_partitions=3, seed=7)
+        config = ClusterConfig(
+            num_partitions=3, commit_protocol="2PC", seed=7, max_time=400.0
+        )
+        sim_report = run_cluster(config, workload.transactions)
+        rt_report = run_cluster(config, workload.transactions, backend="asyncio")
+        assert sim_report.backend == "sim"
+        assert rt_report.backend == "asyncio"
+        assert rt_report.committed == sim_report.committed
+        assert rt_report.aborted == sim_report.aborted
+        assert rt_report.incomplete == 0
+        assert rt_report.execution_class == "failure-free"
+        assert rt_report.invariants is not None and rt_report.invariants.holds
+        # both backends applied the same committed writes
+        assert rt_report.store_snapshots == sim_report.store_snapshots
+
+    def test_simulator_only_features_are_rejected(self):
+        workload = uniform_workload(
+            num_transactions=2, num_partitions=2, participants_per_txn=2, seed=1
+        )
+        with pytest.raises(ConfigurationError, match="simulator-only"):
+            run_cluster(
+                ClusterConfig(num_partitions=2, delay_model=FixedDelay(1.0)),
+                workload.transactions,
+                backend="asyncio",
+            )
+        with pytest.raises(ConfigurationError, match="simulator-only"):
+            run_cluster(
+                ClusterConfig(num_partitions=2, controller=object()),
+                workload.transactions,
+                backend="asyncio",
+            )
+
+    def test_fault_plan_crashes_carry_over(self):
+        workload = uniform_workload(num_transactions=4, num_partitions=3, seed=3)
+        config = ClusterConfig(
+            num_partitions=3,
+            commit_protocol="INBAC",
+            seed=3,
+            max_time=200.0,
+            fault_plan=FaultPlan.crash(2, at=0.0),
+        )
+        report = run_cluster(
+            config, workload.transactions, backend="asyncio"
+        )
+        assert 2 in report.crashes
+        assert report.execution_class == "crash-failure"
+        assert report.invariants is not None and report.invariants.holds
+
+
+# --------------------------------------------------------------------------- #
+# the live service: concurrent clients, mid-run crashes, fault injection
+# --------------------------------------------------------------------------- #
+class TestLiveService:
+    def test_concurrent_clients_commit(self):
+        workload = bank_transfer_workload(
+            num_transfers=6, num_partitions=3, seed=11
+        )
+
+        async def drive():
+            service = AsyncClusterService(
+                ClusterConfig(
+                    num_partitions=3, commit_protocol="INBAC", seed=11,
+                    max_time=300.0,
+                )
+            )
+            await service.start()
+            outcomes = await asyncio.gather(
+                *(
+                    service.submit(txn, timeout_units=120.0)
+                    for txn in workload.transactions
+                )
+            )
+            report = await service.shutdown()
+            return outcomes, report
+
+        outcomes, report = asyncio.run(drive())
+        # concurrent transfers contend on account locks (no-wait locking):
+        # every transaction completes — committed or cleanly aborted — and
+        # the progress guarantee means at least one acquirer wins
+        assert all(o is not None for o in outcomes)
+        assert report.incomplete == 0
+        assert report.committed + report.aborted == 6
+        assert report.committed >= 1
+        assert report.invariants is not None and report.invariants.holds
+
+    def test_partition_crash_mid_run_keeps_survivors_consistent(self):
+        workload = bank_transfer_workload(
+            num_transfers=8, num_partitions=3, seed=5
+        )
+
+        async def drive():
+            service = AsyncClusterService(
+                ClusterConfig(
+                    num_partitions=3, commit_protocol="2PC", seed=5,
+                    max_time=300.0,
+                )
+            )
+            await service.start()
+            results = []
+            for index, txn in enumerate(workload.transactions):
+                if index == 4:
+                    service.crash_partition(2)
+                results.append(await service.submit(txn, timeout_units=30.0))
+            report = await service.shutdown()
+            return results, report
+
+        results, report = asyncio.run(drive())
+        assert report.execution_class == "crash-failure"
+        assert 2 in report.crashes
+        # some transaction touching P2 after the crash must have hung
+        assert any(r is None for r in results)
+        # the invariant battery still holds on the surviving state
+        assert report.invariants is not None and report.invariants.holds
+        # every unfinished transaction is accounted for
+        assert set(report.pending_transactions) == {
+            workload.transactions[i].txn_id
+            for i, r in enumerate(results)
+            if r is None
+        }
+
+    def test_drop_policy_classifies_as_network_failure(self):
+        workload = uniform_workload(
+            num_transactions=2, num_partitions=2, participants_per_txn=2, seed=9
+        )
+
+        async def drive():
+            service = AsyncClusterService(
+                ClusterConfig(
+                    num_partitions=2, commit_protocol="2PC", seed=9,
+                    max_time=100.0,
+                ),
+                # a dead network: every EXEC is dropped at the link
+                default_link_policy=LinkPolicy(drop_probability=1.0),
+            )
+            await service.start()
+            outcomes = [
+                await service.submit(txn, timeout_units=10.0)
+                for txn in workload.transactions
+            ]
+            report = await service.shutdown()
+            return outcomes, report, service.transport.dropped
+
+        outcomes, report, dropped = asyncio.run(drive())
+        assert outcomes == [None, None]
+        assert dropped > 0
+        assert report.execution_class == "network-failure"
+        assert report.incomplete == 2
+        # nothing prepared, so the surviving (empty) state is consistent
+        assert report.invariants is not None and report.invariants.holds
+
+    def test_submit_before_start_rejected(self):
+        async def drive():
+            service = AsyncClusterService(ClusterConfig(num_partitions=2))
+            workload = uniform_workload(
+                num_transactions=1, num_partitions=2, participants_per_txn=2,
+                seed=0,
+            )
+            with pytest.raises(ConfigurationError):
+                await service.submit(workload.transactions[0])
+
+        asyncio.run(drive())
