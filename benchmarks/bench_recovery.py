@@ -1,0 +1,315 @@
+"""Crash-recovery benchmark: MTTR and commit-throughput dip/restore.
+
+For every (protocol x crash point x retry policy) cell the benchmark runs a
+staged multi-partition workload against a 3-partition cluster in which P2
+crashes mid-run and rejoins from its write-ahead log
+(``FaultPlan.crash_recover``), on BOTH backends:
+
+* the asyncio runtime (wall clock) measures **MTTR** — the observed downtime
+  between the crash and the rejoin, in units of U and in milliseconds — and
+  the **commit dip/restore**: committed transactions in the pre-crash,
+  outage and post-rejoin windows of the schedule (the outage window dips
+  because transactions touching the crashed partition abort; the post
+  window restores because the rejoined partition serves again);
+* the discrete-event simulator runs the identical config as the
+  deterministic oracle, pinning the committed set, the abort count and the
+  exact planned downtime the wall clock must approximate.
+
+A final determinism probe sweeps the recovery grid axes (``"rejoin"`` fault,
+``"flaky-link"`` delay) through the experiment engine twice and records the
+aggregate fingerprint — byte-equality across the two sweeps is asserted, so
+the baseline itself witnesses that the recovery axes stay inside the
+fingerprint contract (see docs/determinism.md).
+
+Results go to ``benchmarks/BENCH_recovery.json`` (``--out`` /
+``REPRO_BENCH_OUT`` override; ``--quick`` runs the small smoke grid).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from _helpers import attach_rows
+from repro.analysis import render_table
+from repro.db import ClusterConfig, RetryPolicy, run_cluster
+from repro.db.cluster import ClusterReport
+from repro.db.transaction import Operation, Transaction
+from repro.exp import GridSpec, run_sweep
+from repro.protocols.base import COMMIT
+from repro.runtime import DEFAULT_CLUSTER_UNIT_SECONDS
+from repro.sim.faults import FaultPlan
+from repro.workloads.transactions import bank_transfer_workload
+
+#: (crash_at, rejoin_at) in units, chosen so exactly one staged transaction
+#: lands inside the outage window (the dip) and the rest are clear of the
+#: window boundaries by several commit latencies
+CRASH_POINTS: Dict[str, Tuple[float, float]] = {
+    "mid-run": (20.0, 40.0),
+    "late": (45.0, 65.0),
+}
+
+RETRY_POLICIES: Dict[str, Optional[RetryPolicy]] = {
+    "no-retry": None,
+    "retry-3x": RetryPolicy(max_attempts=3, timeout_units=15.0),
+}
+
+FULL_GRID = {
+    "protocols": ("2PC", "INBAC"),
+    "crash_points": ("mid-run", "late"),
+    "retries": ("no-retry", "retry-3x"),
+}
+QUICK_GRID = {
+    "protocols": ("INBAC",),
+    "crash_points": ("mid-run",),
+    "retries": ("no-retry", "retry-3x"),
+}
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "BENCH_recovery.json")
+
+
+def staged_workload() -> List[Transaction]:
+    """Five two-partition transactions spread across the crash timeline."""
+    return [
+        Transaction.of(
+            "t0",
+            [Operation.write(1, "a", 10), Operation.write(2, "b", 20)],
+            submit_time=0.0,
+        ),
+        Transaction.of(
+            "t1",
+            [Operation.write(2, "b", 21), Operation.write(3, "c", 30)],
+            submit_time=8.0,
+        ),
+        # lands inside the mid-run outage: P2 is down, so it aborts
+        Transaction.of(
+            "t2",
+            [Operation.write(1, "a", 11), Operation.write(2, "d", 40)],
+            submit_time=26.0,
+        ),
+        # lands inside the late outage
+        Transaction.of(
+            "t3",
+            [Operation.write(2, "b", 22), Operation.write(3, "e", 50)],
+            submit_time=55.0,
+        ),
+        Transaction.of(
+            "t4",
+            [Operation.write(1, "a", 12), Operation.write(2, "f", 60)],
+            submit_time=75.0,
+        ),
+    ]
+
+
+def cell_config(
+    protocol: str, crash_point: str, retry: str, seed: int
+) -> ClusterConfig:
+    crash_at, rejoin_at = CRASH_POINTS[crash_point]
+    return ClusterConfig(
+        num_partitions=3,
+        commit_protocol=protocol,
+        commit_f=1,
+        seed=seed,
+        max_time=400.0,
+        fault_plan=FaultPlan.crash_recover(2, at=crash_at, rejoin_at=rejoin_at),
+        retry_policy=RETRY_POLICIES[retry],
+    )
+
+
+def window_commits(
+    report: ClusterReport, crash_at: float, rejoin_at: float
+) -> Tuple[int, int, int]:
+    """Committed transactions by submission window: pre / outage / post."""
+    pre = during = post = 0
+    for outcome in report.outcomes:
+        if outcome.decision != COMMIT:
+            continue
+        if outcome.submit_time < crash_at:
+            pre += 1
+        elif outcome.submit_time < rejoin_at:
+            during += 1
+        else:
+            post += 1
+    return pre, during, post
+
+
+def measure_cell(
+    protocol: str, crash_point: str, retry: str, unit: float, seed: int
+) -> Dict[str, object]:
+    crash_at, rejoin_at = CRASH_POINTS[crash_point]
+
+    oracle = run_cluster(
+        cell_config(protocol, crash_point, retry, seed),
+        staged_workload(),
+        backend="sim",
+    )
+    start = time.perf_counter()
+    measured = run_cluster(
+        cell_config(protocol, crash_point, retry, seed),
+        staged_workload(),
+        backend="asyncio",
+    )
+    wall_seconds = time.perf_counter() - start
+
+    # whether the transaction submitted into the outage window completes
+    # without retry is protocol-dependent (2PC's coordinator timeout aborts
+    # it; INBAC leaves it in-doubt until resubmission), but a retry policy
+    # restores completeness for every protocol: the resubmission after the
+    # rejoin drives the stuck transaction to a decision and releases the
+    # locks that would otherwise cascade into later aborts
+    for backend, report in (("sim", oracle), ("asyncio", measured)):
+        if RETRY_POLICIES[retry] is not None:
+            assert report.incomplete == 0, (backend, report.summary_row())
+        assert report.invariants is not None and report.invariants.holds, (
+            backend,
+            report.invariants and report.invariants.violations,
+        )
+        [event] = report.recovery_events
+        assert event.pid == 2 and event.rejoined_at > event.crashed_at, event
+    assert measured.incomplete == oracle.incomplete, (
+        measured.summary_row(), oracle.summary_row(),
+    )
+
+    committed = lambda r: {o.txn_id for o in r.outcomes if o.decision == COMMIT}
+    # the oracle pins semantics: the wall clock must commit the same set
+    assert committed(measured) == committed(oracle), (
+        protocol,
+        crash_point,
+        retry,
+        committed(measured),
+        committed(oracle),
+    )
+
+    sim_event = oracle.recovery_events[0]
+    wall_event = measured.recovery_events[0]
+    pre, during, post = window_commits(measured, crash_at, rejoin_at)
+    return {
+        "committed": len(committed(measured)),
+        "aborted": measured.aborted,
+        "incomplete": measured.incomplete,
+        "commits_pre": pre,
+        "commits_during_outage": during,
+        "commits_post_rejoin": post,
+        "mttr_units_wall": wall_event.downtime,
+        "mttr_ms_wall": wall_event.downtime * unit * 1000.0,
+        "mttr_units_sim": sim_event.downtime,
+        "replayed_at_rejoin": wall_event.replayed_transactions,
+        "retries": sum(measured.retry_counts.values()),
+        "sim_retries": sum(oracle.retry_counts.values()),
+        "wall_seconds": wall_seconds,
+    }
+
+
+def recovery_fingerprint_probe(seed: int) -> str:
+    """Sweep the recovery axes twice; return the (stable) fingerprint."""
+    grid = lambda: GridSpec(
+        protocols=["INBAC", "2PC"],
+        systems=[(3, 1)],
+        delays=[None, "flaky-link"],
+        faults=[None, "rejoin"],
+        workloads=[
+            ("bank", bank_transfer_workload(
+                num_transfers=4, num_partitions=3, seed=seed
+            ))
+        ],
+        seeds=[seed],
+        max_time=2000.0,
+    )
+    first = run_sweep(grid(), workers=1, mode="aggregate")
+    second = run_sweep(grid(), workers=1, mode="aggregate")
+    assert first.error_count == 0
+    assert first.aggregate_fingerprint() == second.aggregate_fingerprint(), (
+        "recovery-axis sweep fingerprint is not reproducible"
+    )
+    return first.aggregate_fingerprint()
+
+
+def run_battery(
+    grid: Dict[str, object],
+    unit: float = DEFAULT_CLUSTER_UNIT_SECONDS,
+    seed: int = 2017,
+) -> List[Dict]:
+    rows: List[Dict] = []
+    for protocol in grid["protocols"]:
+        for crash_point in grid["crash_points"]:
+            for retry in grid["retries"]:
+                measured = measure_cell(protocol, crash_point, retry, unit, seed)
+                rows.append(
+                    {
+                        "protocol": protocol,
+                        "crash point": crash_point,
+                        "retry": retry,
+                        "committed": measured["committed"],
+                        "aborted": measured["aborted"],
+                        "incomplete": measured["incomplete"],
+                        "pre/out/post": "{}/{}/{}".format(
+                            measured["commits_pre"],
+                            measured["commits_during_outage"],
+                            measured["commits_post_rejoin"],
+                        ),
+                        "MTTR U": round(measured["mttr_units_wall"], 2),
+                        "MTTR ms": round(measured["mttr_ms_wall"], 1),
+                        "sim MTTR U": round(measured["mttr_units_sim"], 2),
+                        "replayed": measured["replayed_at_rejoin"],
+                        "retries": measured["retries"],
+                        "sim retries": measured["sim_retries"],
+                    }
+                )
+    return rows
+
+
+def write_baseline(
+    rows: List[Dict], out_path: str, unit: float, quick: bool, seed: int
+) -> Dict:
+    baseline = {
+        "benchmark": "recovery",
+        "quick": quick,
+        "unit_seconds_per_U": unit,
+        "recovery_axis_fingerprint": recovery_fingerprint_probe(seed),
+        "rows": rows,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return baseline
+
+
+def test_recovery(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_battery(FULL_GRID), rounds=1, iterations=1
+    )
+    out_path = os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT)
+    write_baseline(
+        rows, out_path, unit=DEFAULT_CLUSTER_UNIT_SECONDS, quick=False,
+        seed=2017,
+    )
+    attach_rows(benchmark, "recovery", rows)
+    print()
+    print(render_table(rows, title="Crash recovery: MTTR and commit dip/restore"))
+    print(f"baseline written to {out_path}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke grid")
+    parser.add_argument("--out",
+                        default=os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT),
+                        help="where to write the JSON baseline")
+    parser.add_argument("--unit", type=float,
+                        default=DEFAULT_CLUSTER_UNIT_SECONDS,
+                        help="wall-clock seconds per unit of simulated time U")
+    args = parser.parse_args()
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    rows = run_battery(grid, unit=args.unit)
+    write_baseline(rows, args.out, unit=args.unit, quick=args.quick, seed=2017)
+    print(render_table(rows, title="Crash recovery: MTTR and commit dip/restore"))
+    print(f"baseline written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

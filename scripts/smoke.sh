@@ -34,16 +34,21 @@
 #  11. a bounded runtime round-trip: every registered commit protocol must
 #      commit one real transaction over the asyncio transport (repro.runtime,
 #      wall clock, hard timeout), and the packaging discovery must ship every
-#      subpackage (import repro.runtime from an emulated installed layout).
+#      subpackage (import repro.runtime from an emulated installed layout);
+#  12. a crash-recovery smoke: kill one partition mid-run and rejoin it from
+#      its write-ahead log on BOTH backends (sim via FaultPlan.crash_recover,
+#      asyncio via the live service), asserting the rejoined run still
+#      commits with the invariant battery clean, plus the policy check that
+#      the lint scope table exempts DET002 only under src/repro/runtime/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "==> [1/11] tier-1 tests (pytest from the repo root)"
+echo "==> [1/12] tier-1 tests (pytest from the repo root)"
 python -m pytest -x -q
 
-echo "==> [2/11] benchmark collection (must be > 0 tests)"
+echo "==> [2/12] benchmark collection (must be > 0 tests)"
 collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
 if [ "${collected}" -eq 0 ]; then
     echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
@@ -51,7 +56,7 @@ if [ "${collected}" -eq 0 ]; then
 fi
 echo "    collected ${collected} benchmark tests"
 
-echo "==> [3/11] every benchmark is ported onto repro.exp"
+echo "==> [3/12] every benchmark is ported onto repro.exp"
 for bench in benchmarks/bench_*.py; do
     if ! grep -q "from repro\.exp import" "${bench}"; then
         echo "ERROR: ${bench} does not import repro.exp (hand-rolled sweep loop?)" >&2
@@ -60,7 +65,7 @@ for bench in benchmarks/bench_*.py; do
 done
 echo "    all $(ls benchmarks/bench_*.py | wc -l | tr -d ' ') benchmarks import repro.exp"
 
-echo "==> [4/11] aggregate-mode sweep reproduces the in-memory aggregates"
+echo "==> [4/12] aggregate-mode sweep reproduces the in-memory aggregates"
 python - <<'EOF'
 from repro.exp import GridSpec, run_sweep
 
@@ -87,16 +92,16 @@ print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok "
       f"(both trace levels x both folds)")
 EOF
 
-echo "==> [5/11] one fast benchmark"
+echo "==> [5/12] one fast benchmark"
 python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
 
-echo "==> [6/11] examples"
+echo "==> [6/12] examples"
 for example in examples/*.py; do
     echo "--- ${example}"
     python "${example}" > /dev/null
 done
 
-echo "==> [7/11] sweep-throughput perf smoke (fast-path core baseline)"
+echo "==> [7/12] sweep-throughput perf smoke (fast-path core baseline)"
 bench_out=$(mktemp)
 python benchmarks/bench_sweep_throughput.py --quick --out "${bench_out}" > /dev/null
 python - "${bench_out}" <<'EOF'
@@ -118,7 +123,7 @@ print(f"    baseline emitted with {len(baseline['configs'])} configs, "
 EOF
 rm -f "${bench_out}"
 
-echo "==> [8/11] schedule-exploration smoke (adversarial search + replay)"
+echo "==> [8/12] schedule-exploration smoke (adversarial search + replay)"
 python - <<'EOF'
 from repro.explore import ScheduleTrace, explore, replay_trial
 from repro.exp.spec import GridSpec
@@ -152,7 +157,7 @@ print(f"    INBAC: 0 violations in {inbac.schedules_run} schedules; "
       f"{len(shrunk)} decision(s) replays deterministically")
 EOF
 
-echo "==> [9/11] cluster-exploration smoke (invariant battery + injected bug)"
+echo "==> [9/12] cluster-exploration smoke (invariant battery + injected bug)"
 python - <<'EOF'
 import sys
 sys.path.insert(0, "tests")  # the injected-bug fixture lives in the test tree
@@ -183,10 +188,10 @@ print(f"    INBAC: battery clean over {clean.schedules_run} schedules; "
       f"{len(hits[0].shrunk)} decision")
 EOF
 
-echo "==> [10/11] determinism lint + runtime sanitizer"
+echo "==> [10/12] determinism lint + runtime sanitizer"
 python -m repro.lint src benchmarks tests --sanitize
 
-echo "==> [11/11] runtime round-trip (asyncio transport, hard timeout)"
+echo "==> [11/12] runtime round-trip (asyncio transport, hard timeout)"
 python - <<'EOF2'
 import signal
 
@@ -219,5 +224,58 @@ signal.alarm(0)
 print(f"    {len(protocol_names())} protocols committed for real over AsyncEnv")
 EOF2
 python -m pytest tests/test_packaging.py -q
+
+echo "==> [12/12] crash recovery: kill-and-rejoin one partition per backend"
+python - <<'EOF3'
+import signal
+
+# a hard wall-clock ceiling: a recovery deadlock must fail the smoke, not
+# hang it
+def _expired(signum, frame):
+    raise TimeoutError("crash-recovery smoke exceeded the 120 s stage budget")
+
+signal.signal(signal.SIGALRM, _expired)
+signal.alarm(120)
+
+from repro.db import ClusterConfig, run_cluster
+from repro.db.transaction import Operation, Transaction
+from repro.protocols.base import COMMIT
+from repro.sim.faults import FaultPlan
+
+TXNS = [
+    Transaction.of("t-early",
+                   [Operation.write(1, "a", 10), Operation.write(2, "b", 20)],
+                   submit_time=0.0),
+    Transaction.of("t-after-rejoin",
+                   [Operation.write(2, "b", 21), Operation.write(3, "c", 30)],
+                   submit_time=60.0),
+]
+committed = lambda report: {
+    o.txn_id for o in report.outcomes if o.decision == COMMIT
+}
+
+for backend in ("sim", "asyncio"):
+    config = ClusterConfig(
+        num_partitions=3, commit_protocol="INBAC", commit_f=1, seed=5,
+        max_time=400.0,
+        fault_plan=FaultPlan.crash_recover(2, at=20.0, rejoin_at=40.0),
+    )
+    report = run_cluster(config, TXNS, backend=backend)
+    assert committed(report) == {"t-early", "t-after-rejoin"}, (
+        backend, committed(report))
+    assert report.invariants is not None and report.invariants.holds, backend
+    [event] = report.recovery_events
+    assert event.pid == 2 and event.rejoined_at > event.crashed_at, event
+    assert event.replayed_transactions >= 1, event
+
+# the lint scope table is policy: DET002 is the only scoped rule, exempt
+# only under the runtime package
+from repro.lint.rules import SCOPE_EXEMPTIONS
+
+assert SCOPE_EXEMPTIONS == {"DET002": ("src/repro/runtime/",)}, SCOPE_EXEMPTIONS
+signal.alarm(0)
+print("    both backends rejoined P2 from its WAL and kept committing; "
+      "lint scope policy pinned")
+EOF3
 
 echo "smoke: OK"

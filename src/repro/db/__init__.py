@@ -32,7 +32,14 @@ the outcome.  This package is that substrate:
   decisions)`` and shrink it to a 1-minimal counterexample.
 """
 
-from repro.db.cluster import ClusterConfig, ClusterReport, TransactionOutcome, run_cluster
+from repro.db.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    RecoveryEvent,
+    TransactionOutcome,
+    run_cluster,
+)
+from repro.db.coordinator import RetryPolicy
 from repro.db.conflict import ConflictDetector
 from repro.db.invariants import (
     InvariantReport,
@@ -54,6 +61,8 @@ __all__ = [
     "LockManager",
     "LockMode",
     "Operation",
+    "RecoveryEvent",
+    "RetryPolicy",
     "Transaction",
     "TransactionOutcome",
     "VersionedStore",

@@ -41,7 +41,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.db.coordinator import ClientCoordinator, TransactionOutcome
+from repro.db.coordinator import ClientCoordinator, RetryPolicy, TransactionOutcome
 from repro.db.invariants import InvariantReport, check_cluster
 from repro.db.partition import PartitionServer
 from repro.db.transaction import Transaction
@@ -76,6 +76,10 @@ class ClusterConfig:
     #: consulted on every scheduler event, may defer deliveries and inject
     #: crashes within the scheduler's fault budget
     controller: Optional[Any] = None
+    #: optional client retry policy (idempotent resubmission with bounded
+    #: exponential backoff); works on both backends — the jitter draws from
+    #: the client's per-process seeded RNG, so sim runs stay deterministic
+    retry_policy: Optional[RetryPolicy] = None
 
     def resolve_protocol(self) -> type:
         if isinstance(self.commit_protocol, str):
@@ -86,6 +90,24 @@ class ClusterConfig:
         if isinstance(self.commit_protocol, str):
             return self.commit_protocol
         return getattr(self.commit_protocol, "protocol_name", self.commit_protocol.__name__)
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One partition crash-and-rejoin observed during a cluster run."""
+
+    pid: int
+    crashed_at: float
+    rejoined_at: float
+    #: committed transactions replayed from the WAL into the fresh store
+    replayed_transactions: int
+    #: transactions still in doubt at the moment of rejoin (before the
+    #: termination queries resolved them)
+    in_doubt_at_rejoin: Tuple[str, ...] = ()
+
+    @property
+    def downtime(self) -> float:
+        return self.rejoined_at - self.crashed_at
 
 
 @dataclass
@@ -125,6 +147,12 @@ class ClusterReport:
     #: canonical trace fingerprint; only computed for controlled runs, where
     #: it backs the replay-determinism guarantee
     trace_fingerprint: Optional[str] = None
+    #: every partition crash-and-rejoin, in rejoin order (empty when no
+    #: recovery happened)
+    recovery_events: List[RecoveryEvent] = field(default_factory=list)
+    #: txn id -> resubmissions by the client's retry policy (only
+    #: transactions that actually retried appear)
+    retry_counts: Dict[str, int] = field(default_factory=dict)
     #: which runtime produced this report ("sim" or "asyncio")
     backend: str = "sim"
 
@@ -219,6 +247,7 @@ def build_client(
         env,
         workload=list(transactions),
         prepare_margin=config.prepare_margin,
+        retry_policy=config.retry_policy,
     )
 
 
@@ -235,6 +264,7 @@ def build_report(
     crashes: Dict[int, float],
     schedule_decisions: Sequence[Tuple[int, str, Any]] = (),
     trace_fingerprint: Optional[str] = None,
+    recovery_events: Sequence[RecoveryEvent] = (),
     backend: str = "sim",
 ) -> ClusterReport:
     """Render the backend-independent report: outcomes, state, invariants."""
@@ -265,6 +295,8 @@ def build_report(
         },
         schedule_decisions=list(schedule_decisions),
         trace_fingerprint=trace_fingerprint,
+        recovery_events=list(recovery_events),
+        retry_counts=dict(client.retry_counts),
         backend=backend,
     )
 
@@ -303,6 +335,11 @@ def _run_cluster_sim(
     _validate(config, transactions)
     n, f, client_pid = cluster_shape(config)
     partitions = config.num_partitions
+    if config.fault_plan is not None and client_pid in config.fault_plan.recoveries:
+        raise ConfigurationError(
+            "the client coordinator cannot rejoin: its outcome log is "
+            "volatile (only partitions P1..Pk recover by WAL replay)"
+        )
     scheduler = Scheduler(
         n=n,
         f=f,  # permits any crash plan over the partitions
@@ -325,6 +362,29 @@ def _run_cluster_sim(
     scheduler.bind_process(client_pid, client)
     for process in scheduler.processes.values():
         process.on_start()
+
+    # how a crashed pid rejoins: partitions are rebuilt from their durable
+    # WAL (the crashed object only contributes its log); the client's
+    # volatile outcome state is not recoverable, so its rejoin is refused
+    recovery_events: List[RecoveryEvent] = []
+
+    def _partition_rejoin(pid: int, sched: Scheduler, old: Any) -> Optional[Any]:
+        if pid == client_pid:
+            return None
+        server = build_partition(pid, n, f, sched.env_for(pid), config)
+        replayed = server.recover_from_wal(old.wal, coordinator=client_pid)
+        recovery_events.append(
+            RecoveryEvent(
+                pid=pid,
+                crashed_at=sched.trace.crashes.get(pid, 0.0),
+                rejoined_at=sched.clock.time_to_units(sched.clock.now),
+                replayed_transactions=replayed,
+                in_doubt_at_rejoin=tuple(server.wal.in_doubt()),
+            )
+        )
+        return server
+
+    scheduler.set_recovery_factory(_partition_rejoin)
 
     scheduler.set_stop_predicate(lambda s: client.all_completed())
     trace = scheduler.run()
@@ -359,5 +419,6 @@ def _run_cluster_sim(
         trace_fingerprint=(
             trace.fingerprint() if config.controller is not None else None
         ),
+        recovery_events=recovery_events,
         backend="sim",
     )

@@ -15,6 +15,57 @@ from typing import Callable, Dict, List, Optional
 
 from repro.db.transaction import Transaction
 from repro.env import Process
+from repro.errors import ConfigurationError
+
+_RETRY_TIMER_PREFIX = "retry/"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic client-side retry for unacknowledged transactions.
+
+    After each submission the coordinator waits ``timeout_units`` (plus, from
+    the second attempt on, a bounded exponential backoff and a jitter term)
+    for the first ``DONE`` ack; an unacknowledged transaction is resubmitted
+    with the *same* transaction id, which partitions treat idempotently.  The
+    jitter is drawn from the coordinator's per-process seeded RNG, so on the
+    simulator backend retries are as fingerprint-deterministic as everything
+    else.
+    """
+
+    #: total submissions, including the first
+    max_attempts: int = 3
+    #: per-attempt wait for the first DONE ack
+    timeout_units: float = 12.0
+    #: base backoff added to the wait from the second attempt on
+    backoff_units: float = 2.0
+    #: exponential growth factor of the backoff
+    backoff_factor: float = 2.0
+    #: ceiling on the (pre-jitter) backoff term
+    max_backoff_units: float = 16.0
+    #: uniform [0, jitter_units) added per retry wait
+    jitter_units: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.timeout_units <= 0:
+            raise ConfigurationError("timeout_units must be positive")
+        if self.backoff_units < 0 or self.max_backoff_units < 0:
+            raise ConfigurationError("backoff bounds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if self.jitter_units < 0:
+            raise ConfigurationError("jitter_units must be non-negative")
+
+    def backoff(self, retry_index: int, rng) -> float:
+        """The backoff before retry number ``retry_index`` (1-based)."""
+        base = min(
+            self.max_backoff_units,
+            self.backoff_units * self.backoff_factor ** (retry_index - 1),
+        )
+        jitter = rng.random() * self.jitter_units if self.jitter_units > 0 else 0.0
+        return base + jitter
 
 
 @dataclass
@@ -59,11 +110,17 @@ class ClientCoordinator(Process):
         env,
         workload: List[Transaction],
         prepare_margin: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         super().__init__(pid, n, f, env)
         self.workload = list(workload)
         self.prepare_margin = prepare_margin
+        self.retry_policy = retry_policy
         self.outcomes: Dict[str, TransactionOutcome] = {}
+        #: resubmissions per transaction id (only transactions that retried)
+        self.retry_counts: Dict[str, int] = {}
+        self._attempts: Dict[str, int] = {}
+        self._txn_by_id: Dict[str, Transaction] = {}
         #: optional callback fired when a transaction's outcome is recorded;
         #: used by the asyncio cluster service to resolve client futures and
         #: by the cluster drivers to detect completion without polling
@@ -80,6 +137,9 @@ class ClientCoordinator(Process):
         pass
 
     def on_timeout(self, name: str) -> None:
+        if name.startswith(_RETRY_TIMER_PREFIX):
+            self._maybe_retry(name[len(_RETRY_TIMER_PREFIX):])
+            return
         if not name.startswith("submit/"):
             return
         index = int(name.split("/", 1)[1])
@@ -97,11 +157,16 @@ class ClientCoordinator(Process):
     def _submit(self, txn: Transaction) -> None:
         participants = txn.participants()
         start_time = self.now() + self.prepare_margin
-        self.outcomes[txn.txn_id] = TransactionOutcome(
-            txn_id=txn.txn_id,
-            submit_time=self.now(),
-            participants=participants,
-        )
+        self._txn_by_id[txn.txn_id] = txn
+        self._attempts[txn.txn_id] = self._attempts.get(txn.txn_id, 0) + 1
+        if txn.txn_id not in self.outcomes:
+            # latency is measured from the first submission; a retried
+            # transaction keeps its original submit time
+            self.outcomes[txn.txn_id] = TransactionOutcome(
+                txn_id=txn.txn_id,
+                submit_time=self.now(),
+                participants=participants,
+            )
         for partition in participants:
             self.send(
                 partition,
@@ -114,11 +179,48 @@ class ClientCoordinator(Process):
                     dict(txn.write_set(partition)),
                 ),
             )
+        self._arm_retry(txn.txn_id)
+
+    # ------------------------------------------------------------------ #
+    # retry (see RetryPolicy)
+    # ------------------------------------------------------------------ #
+    def _arm_retry(self, txn_id: str) -> None:
+        policy = self.retry_policy
+        if policy is None:
+            return
+        attempts = self._attempts.get(txn_id, 1)
+        if attempts >= policy.max_attempts:
+            return  # the final attempt gets no watchdog: nothing left to try
+        wait = policy.timeout_units
+        if attempts > 1:
+            wait += policy.backoff(attempts - 1, self.env.random)
+        self.set_timer(self.now() + wait, name=f"{_RETRY_TIMER_PREFIX}{txn_id}")
+
+    def _maybe_retry(self, txn_id: str) -> None:
+        outcome = self.outcomes.get(txn_id)
+        if outcome is None or outcome.completed:
+            return
+        txn = self._txn_by_id.get(txn_id)
+        policy = self.retry_policy
+        if txn is None or policy is None:
+            return
+        if self._attempts.get(txn_id, 0) >= policy.max_attempts:
+            return
+        self.retry_counts[txn_id] = self.retry_counts.get(txn_id, 0) + 1
+        self._submit(txn)
 
     # ------------------------------------------------------------------ #
     # outcome collection
     # ------------------------------------------------------------------ #
     def on_deliver(self, src: int, payload) -> None:
+        if payload[0] == "OUTCOME?":
+            # termination query from a recovering partition: answer when the
+            # transaction's outcome has been observed here
+            _, txn_id = payload
+            known = self.outcomes.get(txn_id)
+            if known is not None and known.completed:
+                self.send(src, ("OUTCOME", txn_id, known.decision))
+            return
         if payload[0] != "DONE":
             return
         _, txn_id, decision, decide_time = payload

@@ -131,6 +131,9 @@ class PartitionServer(Process):
         #: messages for transactions whose EXEC has not arrived yet
         self._early_messages: Dict[str, List[Tuple[int, Any]]] = {}
         self.statistics = {"prepared": 0, "committed": 0, "aborted": 0, "vote_no": 0}
+        #: set by recover_from_wal: where DONE acks go for transactions the
+        #: previous incarnation left in doubt
+        self._recovery_coordinator: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # inspection (anomaly reports)
@@ -162,6 +165,17 @@ class PartitionServer(Process):
             _, request_id, key = payload
             value = self.store.get_or_default(key)
             self.send(src, ("READ-REPLY", request_id, key, value))
+        elif kind == "OUTCOME?":
+            # termination query from a recovering peer: answer only when the
+            # outcome is durably known here
+            _, txn_id = payload
+            outcome = self.wal.outcome_of(txn_id)
+            if outcome is not None:
+                decision = COMMIT if outcome == WAL_COMMIT else ABORT
+                self.send(src, ("OUTCOME", txn_id, decision))
+        elif kind == "OUTCOME":
+            _, txn_id, decision = payload
+            self._apply_recovered_outcome(txn_id, decision)
 
     def on_timeout(self, name: str) -> None:
         if not name.startswith(_TIMER_PREFIX):
@@ -192,6 +206,22 @@ class PartitionServer(Process):
         reads: List[str],
         writes: Dict[str, object],
     ) -> None:
+        # idempotent resubmission (client retry / duplicate EXEC): the first
+        # EXEC stands.  A decided transaction gets its DONE re-sent (the
+        # lost-ack retry path); an in-flight or in-doubt one is left to the
+        # running commit round / termination query.
+        pending = self.transactions.get(txn_id)
+        if pending is not None:
+            if pending.decided is not None:
+                self.send(coordinator, ("DONE", txn_id, pending.decided, self.now()))
+            return
+        outcome = self.wal.outcome_of(txn_id)
+        if outcome is not None:  # decided by a previous incarnation
+            decision = COMMIT if outcome == WAL_COMMIT else ABORT
+            self.send(coordinator, ("DONE", txn_id, decision, self.now()))
+            return
+        if self.wal.prepare_record_of(txn_id) is not None:
+            return  # in doubt from a previous incarnation; resolution owns it
         keys_by_mode = {key: LockMode.SHARED for key in reads}
         keys_by_mode.update({key: LockMode.EXCLUSIVE for key in writes})
         granted = self.locks.try_acquire_all(txn_id, keys_by_mode)
@@ -199,7 +229,13 @@ class PartitionServer(Process):
         if not granted:
             self.statistics["vote_no"] += 1
         self.conflicts.begin(txn_id, reads=set(reads), writes=set(writes))
-        self.wal.append(WAL_PREPARE, txn_id, writes=writes, timestamp=self.now())
+        self.wal.append(
+            WAL_PREPARE,
+            txn_id,
+            writes=writes,
+            timestamp=self.now(),
+            participants=tuple(participants),
+        )
         self.statistics["prepared"] += 1
 
         instance = None
@@ -255,3 +291,97 @@ class PartitionServer(Process):
         self.locks.release_all(txn_id)
         self.conflicts.finish(txn_id)
         self.send(pending.coordinator, ("DONE", txn_id, decision, self.now()))
+
+    # ------------------------------------------------------------------ #
+    # crash recovery: rejoin from the write-ahead log
+    # ------------------------------------------------------------------ #
+    def recover_from_wal(
+        self, wal: WriteAheadLog, coordinator: Optional[int] = None
+    ) -> int:
+        """Adopt the durable log of a crashed incarnation and rebuild state.
+
+        The store is reconstructed from :meth:`WriteAheadLog.replay` (torn
+        tail records are invisible, so a crash mid-append loses exactly that
+        record); exclusive locks are re-installed for every in-doubt write
+        set so no conflicting transaction can slip in before the outcome is
+        known; statistics are rebuilt from the log (votes are volatile and
+        start from zero).  Idempotent: calling it again replays into a fresh
+        store and reaches the same state.  Returns the number of committed
+        transactions replayed.
+        """
+        self.wal = wal
+        self.store = VersionedStore()
+        wal.replay(self.store)
+        self.locks = LockManager()
+        self.conflicts = ConflictDetector()
+        self.transactions = {}
+        self._early_messages = {}
+        self._recovery_coordinator = coordinator
+        committed = set()
+        aborted = set()
+        prepared = 0
+        for record in wal.records():
+            if record.torn:
+                continue
+            if record.kind == WAL_PREPARE:
+                prepared += 1
+            elif record.kind == WAL_COMMIT:
+                committed.add(record.txn_id)
+            elif record.kind == WAL_ABORT:
+                aborted.add(record.txn_id)
+        self.statistics = {
+            "prepared": prepared,
+            "committed": len(committed),
+            "aborted": len(aborted),
+            "vote_no": 0,
+        }
+        for txn_id in wal.in_doubt():
+            record = wal.prepare_record_of(txn_id)
+            writes = dict(record.writes) if record is not None else {}
+            if writes:
+                self.locks.try_acquire_all(
+                    txn_id, {key: LockMode.EXCLUSIVE for key in writes}
+                )
+        return len(committed)
+
+    def on_recover(self) -> None:
+        """Rejoin hook: issue termination queries for in-doubt transactions."""
+        if self._recovery_coordinator is not None:
+            self.resolve_in_doubt(self._recovery_coordinator)
+
+    def resolve_in_doubt(self, coordinator: int) -> List[str]:
+        """Ask the coordinator and every peer participant for the outcome of
+        each in-doubt transaction; returns the queried transaction ids."""
+        self._recovery_coordinator = coordinator
+        unresolved = self.wal.in_doubt()
+        for txn_id in unresolved:
+            record = self.wal.prepare_record_of(txn_id)
+            targets = {coordinator}
+            if record is not None:
+                targets.update(p for p in record.participants if p != self.pid)
+            for dst in sorted(targets):
+                self.send(dst, ("OUTCOME?", txn_id))
+        return unresolved
+
+    def _apply_recovered_outcome(self, txn_id: str, decision: int) -> None:
+        """Install a termination-query answer for an in-doubt transaction."""
+        if self.wal.outcome_of(txn_id) is not None:
+            return  # already resolved; duplicate replies are expected
+        record = self.wal.prepare_record_of(txn_id)
+        if record is None:
+            return  # never prepared here: a stray reply
+        writes = dict(record.writes)
+        if decision == COMMIT:
+            self.wal.append(WAL_COMMIT, txn_id, writes=writes, timestamp=self.now())
+            if writes:
+                self.store.apply_many(writes, txn_id=txn_id)
+            self.statistics["committed"] += 1
+        else:
+            self.wal.append(WAL_ABORT, txn_id, timestamp=self.now())
+            self.statistics["aborted"] += 1
+        self.locks.release_all(txn_id)
+        self.conflicts.finish(txn_id)
+        if self._recovery_coordinator is not None:
+            self.send(
+                self._recovery_coordinator, ("DONE", txn_id, decision, self.now())
+            )

@@ -38,6 +38,9 @@ class WalRecord:
     writes: Dict[str, object] = field(default_factory=dict)
     timestamp: float = 0.0
     torn: bool = False
+    #: participant pids logged with PREPARE, so a recovering partition knows
+    #: which peers to ask when a transaction is in doubt
+    participants: tuple = ()
 
 
 class WriteAheadLog:
@@ -52,6 +55,7 @@ class WriteAheadLog:
         txn_id: str,
         writes: Optional[Dict[str, object]] = None,
         timestamp: float = 0.0,
+        participants: tuple = (),
     ) -> WalRecord:
         if kind not in (PREPARE, COMMIT, ABORT):
             raise StorageError(f"unknown WAL record kind {kind!r}")
@@ -61,6 +65,7 @@ class WriteAheadLog:
             txn_id=txn_id,
             writes=dict(writes or {}),
             timestamp=timestamp,
+            participants=tuple(participants),
         )
         self._records.append(record)
         return record
@@ -100,6 +105,19 @@ class WriteAheadLog:
                 continue
             if record.txn_id == txn_id and record.kind in (COMMIT, ABORT):
                 return record.kind
+        return None
+
+    def prepare_record_of(self, txn_id: str) -> Optional[WalRecord]:
+        """The latest intact PREPARE record of ``txn_id``, if any.
+
+        Recovery reads the buffered writes and the participant set from here
+        when re-installing locks and issuing termination queries.
+        """
+        for record in reversed(self._records):
+            if record.torn:
+                continue
+            if record.txn_id == txn_id and record.kind == PREPARE:
+                return record
         return None
 
     def in_doubt(self) -> List[str]:

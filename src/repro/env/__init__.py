@@ -250,6 +250,15 @@ class Process:
     def on_crash(self) -> None:
         """Hook invoked when the fault plan crashes this process."""
 
+    def on_recover(self) -> None:
+        """Hook invoked when this (possibly rebuilt) process rejoins.
+
+        Called by the hosting runtime after a crash recovery, once the
+        process is live again: timers of the previous incarnation have been
+        cancelled and the network accepts its traffic.  Recovery-aware
+        processes re-arm timers and issue termination queries here.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(P{self.pid}, n={self.n}, f={self.f})"
 

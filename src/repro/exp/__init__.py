@@ -69,8 +69,10 @@ from repro.exp.engine import ensure_spawn_safe, run_sweep, run_trial, run_trials
 from repro.exp.registry import (
     make_reducer,
     named_delay,
+    named_fault,
     named_workload,
     register_delay_model,
+    register_fault_plan,
     register_reducer,
     register_workload,
 )
@@ -112,9 +114,11 @@ __all__ = [
     "make_reducer",
     "mixed_votes",
     "named_delay",
+    "named_fault",
     "named_workload",
     "one_no",
     "register_delay_model",
+    "register_fault_plan",
     "register_reducer",
     "register_workload",
     "run_sweep",

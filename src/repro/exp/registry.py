@@ -28,7 +28,14 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List
 
 from repro.errors import ConfigurationError
-from repro.sim.network import DelayModel, FixedDelay, LognormalDelay, UniformDelay
+from repro.sim.faults import FaultPlan
+from repro.sim.network import (
+    DelayModel,
+    FixedDelay,
+    FlakyLinkDelay,
+    LognormalDelay,
+    UniformDelay,
+)
 
 # --------------------------------------------------------------------------- #
 # delay models
@@ -68,9 +75,30 @@ def _build_lognormal(
     return LognormalDelay(median=median, sigma=sigma, u=u, seed=seed)
 
 
+def _build_flaky_link(
+    seed: int,
+    u: float = 1.0,
+    jitter: float = 0.2,
+    slow_pairs: tuple = (((1, 2), 3.0),),
+    outages: tuple = ((2, 1, 4.0, 8.0),),
+) -> DelayModel:
+    # gray-failure profile: P1->P2 slow-but-alive, P2->P1 partitioned over
+    # [4, 8) then healed — an asymmetric degradation, not a clean crash.
+    # Parameters are nested tuples (not dicts) so the factory stays hashable
+    # and spawn-picklable.
+    return FlakyLinkDelay(
+        u=u,
+        jitter=jitter,
+        slow_pairs={tuple(pair): factor for pair, factor in slow_pairs},
+        outages=tuple(tuple(w) for w in outages),
+        seed=seed,
+    )
+
+
 register_delay_model("fixed", _build_fixed)
 register_delay_model("uniform", _build_uniform)
 register_delay_model("lognormal", _build_lognormal)
+register_delay_model("flaky-link", _build_flaky_link)
 
 
 class NamedDelayFactory:
@@ -136,6 +164,109 @@ def named_delay(name: str, label: str = None, **params: Any):
             name, ",".join(f"{k}={v}" for k, v in sorted(params.items()))
         )
     return DelaySpec(label=label, factory=NamedDelayFactory(name, params))
+
+
+# --------------------------------------------------------------------------- #
+# fault plans
+# --------------------------------------------------------------------------- #
+
+#: name -> builder(**params) -> FaultPlan
+_FAULT_BUILDERS: Dict[str, Callable[..., FaultPlan]] = {}
+
+
+def register_fault_plan(name: str, builder: Callable[..., FaultPlan]) -> None:
+    """Register a fault-plan builder callable under ``name``.
+
+    The builder receives the keyword parameters given to :func:`named_fault`
+    and returns a *fresh* :class:`~repro.sim.faults.FaultPlan` (plans are
+    stateful: DelayRules carry match counters); it must be a module-level
+    callable for the registration to be spawn-safe.
+    """
+    _FAULT_BUILDERS[name] = builder
+
+
+def fault_plan_names() -> List[str]:
+    return list(_FAULT_BUILDERS)
+
+
+def _build_failure_free() -> FaultPlan:
+    return FaultPlan.failure_free()
+
+
+def _build_crash(pid: int = 1, at: float = 5.0) -> FaultPlan:
+    return FaultPlan.crash(pid, at=at)
+
+
+def _build_rejoin(
+    pid: int = 1, at: float = 6.0, rejoin_at: float = 18.0
+) -> FaultPlan:
+    return FaultPlan.crash_recover(pid, at=at, rejoin_at=rejoin_at)
+
+
+register_fault_plan("failure-free", _build_failure_free)
+register_fault_plan("crash", _build_crash)
+register_fault_plan("rejoin", _build_rejoin)
+
+
+class NamedFaultFactory:
+    """A picklable ``factory() -> FaultPlan`` resolved through the registry.
+
+    The exact analogue of :class:`NamedDelayFactory` for the faults axis:
+    instances carry only the registry name and plain-data parameters, so a
+    :class:`~repro.exp.spec.FaultSpec` built from one crosses a ``spawn``
+    process boundary and equal factories compare equal.
+    """
+
+    __slots__ = ("name", "params")
+
+    def __init__(self, name: str, params: Dict[str, Any]):
+        if name not in _FAULT_BUILDERS:
+            known = ", ".join(sorted(_FAULT_BUILDERS))
+            raise ConfigurationError(
+                f"unknown fault plan {name!r}; known: {known}"
+            )
+        self.name = name
+        self.params = dict(params)
+
+    def __call__(self) -> FaultPlan:
+        try:
+            builder = _FAULT_BUILDERS[self.name]
+        except KeyError:
+            known = ", ".join(sorted(_FAULT_BUILDERS))
+            raise ConfigurationError(
+                f"fault plan {self.name!r} is not registered in this process "
+                f"(known: {known}); under the spawn start method, "
+                f"register_fault_plan must run at import time so workers "
+                f"re-register it"
+            ) from None
+        return builder(**self.params)
+
+    def __getstate__(self):
+        return (self.name, self.params)
+
+    def __setstate__(self, state):
+        self.name, self.params = state
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, NamedFaultFactory)
+            and other.name == self.name
+            and other.params == self.params
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(sorted(self.params.items()))))
+
+
+def named_fault(name: str, label: str = None, **params: Any):
+    """A spawn-safe :class:`~repro.exp.spec.FaultSpec` from a registry name."""
+    from repro.exp.spec import FaultSpec
+
+    if label is None:
+        label = name if not params else "{}({})".format(
+            name, ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+        )
+    return FaultSpec(label=label, factory=NamedFaultFactory(name, params))
 
 
 # --------------------------------------------------------------------------- #

@@ -239,7 +239,7 @@ class ScheduleSpec:
 # Accepted shorthand for each axis (normalised by the coerce_* helpers below).
 ProtocolLike = Union[str, type, Tuple[str, type], ProtocolSpec]
 DelayLike = Union[None, str, DelayModel, Tuple[str, Callable[..., DelayModel]], DelaySpec]
-FaultLike = Union[None, FaultPlan, Tuple[str, Union[FaultPlan, Callable[[], FaultPlan]]], FaultSpec]
+FaultLike = Union[None, str, FaultPlan, Tuple[str, Union[FaultPlan, Callable[[], FaultPlan]]], FaultSpec]
 VoteLike = Union[str, Tuple[str, Callable[[int], List[int]]], VoteSpec]
 WorkloadLike = Union[None, str, Tuple[str, Any], WorkloadSpec]
 ScheduleLike = Union[None, str, Tuple[str, str], Tuple[str, str, Dict[str, Any]], ScheduleSpec]
@@ -357,7 +357,12 @@ def _seed_aware(factory: Callable[..., DelayModel]) -> Callable[[int], DelayMode
 def _fresh_plan(plan: FaultPlan) -> FaultPlan:
     """Rebuild a plan with pristine DelayRules (their match counters reset)."""
     rules = [dataclasses.replace(rule) for rule in plan.delay_rules]
-    return FaultPlan(crashes=dict(plan.crashes), delay_rules=rules, description=plan.description)
+    return FaultPlan(
+        crashes=dict(plan.crashes),
+        delay_rules=rules,
+        description=plan.description,
+        recoveries=dict(plan.recoveries),
+    )
 
 
 class _PlanTemplateFactory:
@@ -377,19 +382,36 @@ class _PlanTemplateFactory:
 
 
 def coerce_fault(value: FaultLike) -> FaultSpec:
+    # resolved lazily to keep module import order simple
+    from repro.exp.registry import named_fault
+
     if isinstance(value, FaultSpec):
         return value
     if value is None:
         return FaultSpec(label="failure-free", factory=FaultPlan.failure_free)
+    if isinstance(value, str):
+        # a registry name ("failure-free", "crash", "rejoin", ...):
+        # always spawn-safe (see repro.exp.registry)
+        return named_fault(value)
     if isinstance(value, FaultPlan):
         label = value.description or "fault-plan"
         return FaultSpec(label=label, factory=_PlanTemplateFactory(value))
     if isinstance(value, tuple):
+        if len(value) == 3:
+            label, name, params = value
+            if not isinstance(name, str) or not isinstance(params, dict):
+                raise ConfigurationError(
+                    f"cannot interpret {value!r} as a fault axis value: a "
+                    f"3-tuple must be (label, registry_name, params_dict)"
+                )
+            return named_fault(name, label=label, **params)
         label, plan_or_factory = value
         if isinstance(plan_or_factory, FaultPlan):
             return FaultSpec(label=label, factory=_PlanTemplateFactory(plan_or_factory))
         if plan_or_factory is None:
             return FaultSpec(label=label, factory=FaultPlan.failure_free)
+        if isinstance(plan_or_factory, str):
+            return named_fault(plan_or_factory, label=label)
         return FaultSpec(label=label, factory=plan_or_factory)
     raise ConfigurationError(f"cannot interpret {value!r} as a fault axis value")
 

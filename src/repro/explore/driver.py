@@ -61,7 +61,7 @@ _PROP_BY_NAME = {
 CLUSTER_SAFETY_PROPS = frozenset({Prop.AGREEMENT, Prop.VALIDITY})
 
 #: exploration presets: named search plans expanded by :func:`explore`
-EXPLORATION_PRESETS = ("cluster-anomaly",)
+EXPLORATION_PRESETS = ("cluster-anomaly", "cluster-rejoin")
 
 
 def _coerce_properties(properties: Optional[Sequence[Union[str, Prop]]]):
@@ -248,6 +248,36 @@ def _cluster_anomaly_specs(
     return specs[:budget], [0]
 
 
+def _cluster_rejoin_specs(
+    budget: int, n: int
+) -> Tuple[List[ScheduleSpec], List[int]]:
+    """The ``cluster-rejoin`` preset: crash-and-rejoin enumeration.
+
+    Like ``cluster-anomaly``, but every crash is followed by a WAL rejoin a
+    few phase boundaries later — hunting recovery bugs (double replay, lost
+    in-doubt resolution, stale-timer resurrection) instead of plain crash
+    anomalies.  Only the partitions (``1..n``) are enumerated: the client
+    coordinator's outcome log is volatile, so it cannot rejoin.
+    """
+    pids = list(range(1, n + 1))
+    gaps = (2, 5)
+    per_point = len(pids) * len(gaps)
+    points = max(2, -(-budget // per_point))  # ceil(budget / (pids x gaps))
+    specs = [
+        coerce_schedule(
+            (
+                f"rejoin[P{pid}@{point}+{gap}]",
+                "crash-point",
+                {"pid": pid, "point": point, "recover_after": gap},
+            )
+        )
+        for point in range(points)
+        for pid in pids
+        for gap in gaps
+    ]
+    return specs[:budget], [0]
+
+
 def explore(
     protocol: Any,
     n: int,
@@ -291,7 +321,9 @@ def explore(
     termination is opt-in because injected crashes legitimately leave
     in-doubt transactions).  ``preset="cluster-anomaly"`` replaces the
     seeded strategy with deterministic crash-point enumeration over every
-    partition and the client coordinator.
+    partition and the client coordinator; ``preset="cluster-rejoin"``
+    enumerates crash-*and-rejoin* points over the partitions instead,
+    hunting WAL-recovery bugs.
     """
     if budget < 1:
         raise ConfigurationError(f"budget must be positive, got {budget}")
@@ -314,11 +346,14 @@ def explore(
             )
         if workload is None:
             raise ConfigurationError(
-                "preset='cluster-anomaly' explores cluster trials; pass a "
-                "workload= (any GridSpec workloads-axis shorthand, e.g. "
-                "'uniform' or ('name', factory))"
+                f"preset={preset!r} explores cluster trials; pass a "
+                f"workload= (any GridSpec workloads-axis shorthand, e.g. "
+                f"'uniform' or ('name', factory))"
             )
-        schedules, seed_axis = _cluster_anomaly_specs(budget, n)
+        if preset == "cluster-rejoin":
+            schedules, seed_axis = _cluster_rejoin_specs(budget, n)
+        else:
+            schedules, seed_axis = _cluster_anomaly_specs(budget, n)
         strategy_label = preset
     else:
         schedules, seed_axis = _schedule_specs(strategy, params, budget, n)

@@ -3,8 +3,11 @@
 The scheduler's controller hook (see :mod:`repro.sim.runner`) offers every
 popped event to a controller, which may answer with one of two *actions*:
 
-* ``("defer", extra)`` — postpone the delivery by ``extra`` time units;
-* ``("crash", pid)``   — crash ``pid`` before the event is dispatched.
+* ``("defer", extra)``  — postpone the delivery by ``extra`` time units;
+* ``("crash", pid)``    — crash ``pid`` before the event is dispatched;
+* ``("recover", pid)``  — rejoin a previously crashed ``pid`` (only applies
+  when the scheduler has a recovery factory installed, i.e. on cluster runs
+  where partitions rebuild from their write-ahead log).
 
 A controller therefore explores exactly the adversary's power in the paper's
 model: it may extend message delays (possibly beyond the bound ``U``, turning
@@ -24,7 +27,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 #: the decision kinds a controller may emit
-DECISION_KINDS = ("defer", "crash")
+DECISION_KINDS = ("defer", "crash", "recover")
 
 #: one applied decision: (intercept step, kind, argument)
 Decision = Tuple[int, str, Any]
@@ -109,6 +112,8 @@ class ScheduleTrace:
         for step, kind, arg in self.decisions:
             if kind == "crash":
                 out.append(f"step {step}: crash P{arg}")
+            elif kind == "recover":
+                out.append(f"step {step}: rejoin P{arg} from its WAL")
             else:
                 out.append(f"step {step}: defer delivery by {arg} time units")
         return out

@@ -157,17 +157,38 @@ class CrashPoint(ScheduleController):
     is 0, the process owning the boundary event — immediately before the
     ``point``-th boundary it observes.  Enumerating ``(pid, point)`` pairs
     walks every crash point of the protocol's phase structure.
+
+    With ``recover_after`` set, the strategy additionally rejoins the crashed
+    process ``recover_after`` phase boundaries after the crash — walking every
+    (crash point, rejoin point) pair of the recovery surface.  The rejoin only
+    applies on runs where the scheduler has a recovery factory installed
+    (cluster runs rebuilding partitions from their WAL); elsewhere the action
+    is ignored deterministically.
     """
 
     strategy_name = "crash-point"
 
-    def __init__(self, seed: int = 0, pid: int = 0, point: int = 0):
-        super().__init__(seed=seed, pid=pid, point=point)
+    def __init__(
+        self,
+        seed: int = 0,
+        pid: int = 0,
+        point: int = 0,
+        recover_after: Optional[int] = None,
+    ):
+        super().__init__(seed=seed, pid=pid, point=point, recover_after=recover_after)
         if point < 0:
             raise ConfigurationError(f"crash point must be >= 0, got {point}")
+        if recover_after is not None and recover_after < 1:
+            raise ConfigurationError(
+                f"recover_after must be >= 1 boundary after the crash, "
+                f"got {recover_after}"
+            )
         self._pid = pid
         self._point = point
+        self._recover_after = recover_after
         self._boundaries_seen = 0
+        self._crashed_pid: Optional[int] = None
+        self._crash_boundary: Optional[int] = None
         self._done = False
 
     def intercept(self, scheduler: Any, event: Any, step: int) -> Optional[tuple]:
@@ -175,12 +196,23 @@ class CrashPoint(ScheduleController):
             return None
         boundary = self._boundaries_seen
         self._boundaries_seen += 1
+        if self._crashed_pid is not None:
+            # crash already emitted; waiting to emit the rejoin
+            if boundary - self._crash_boundary >= self._recover_after:
+                self._done = True
+                return ("recover", self._crashed_pid)
+            return None
         if boundary != self._point:
             return None
-        self._done = True
         pid = self._pid if self._pid > 0 else event.pid
         if not scheduler.can_inject_crash(pid):
+            self._done = True
             return None
+        if self._recover_after is None:
+            self._done = True
+        else:
+            self._crashed_pid = pid
+            self._crash_boundary = boundary
         return ("crash", pid)
 
 

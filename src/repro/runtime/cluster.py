@@ -29,6 +29,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.db.cluster import (
     ClusterConfig,
     ClusterReport,
+    RecoveryEvent,
     _validate,
     build_client,
     build_partition,
@@ -94,6 +95,13 @@ class AsyncClusterService:
         _check_runtime_config(config)
         if config.num_partitions < 2:
             raise ConfigurationError("a cluster needs at least 2 partitions")
+        if config.fault_plan is not None and cluster_shape(config)[2] in getattr(
+            config.fault_plan, "recoveries", {}
+        ):
+            raise ConfigurationError(
+                "the client coordinator cannot rejoin: its outcome log is "
+                "volatile; only partitions are recoverable"
+            )
         self.config = config
         self.unit = unit
         n, f, client_pid = cluster_shape(config)
@@ -109,6 +117,7 @@ class AsyncClusterService:
         self.client: Optional[ClientCoordinator] = None
         self._waiters: Dict[str, asyncio.Future] = {}
         self._crash_tasks: list = []
+        self._recovery_events: list = []
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -143,6 +152,13 @@ class AsyncClusterService:
                         self._crash_later(pid, at_units)
                     )
                 )
+            for pid in sorted(self.config.fault_plan.recoveries):
+                at_units = self.config.fault_plan.recoveries[pid]
+                self._crash_tasks.append(
+                    asyncio.get_running_loop().create_task(
+                        self._recover_later(pid, at_units)
+                    )
+                )
         self._started = True
 
     async def _crash_later(self, pid: int, at_units: float) -> None:
@@ -150,6 +166,12 @@ class AsyncClusterService:
         if delay_units > 0:
             await asyncio.sleep(delay_units * self.unit)
         self.crash_partition(pid)
+
+    async def _recover_later(self, pid: int, at_units: float) -> None:
+        delay_units = max(0.0, at_units - self.runtime.now_units())
+        if delay_units > 0:
+            await asyncio.sleep(delay_units * self.unit)
+        self.recover_partition(pid)
 
     def _on_outcome(self, outcome: TransactionOutcome) -> None:
         waiter = self._waiters.pop(outcome.txn_id, None)
@@ -171,6 +193,11 @@ class AsyncClusterService:
         """
         if not self._started or self.client is None:
             raise ConfigurationError("service not started")
+        if self.runtime.is_down(self.client_pid):
+            raise ConfigurationError(
+                "the client coordinator has crashed; no new transactions can "
+                "be submitted"
+            )
         budget = self.config.max_time if timeout_units is None else timeout_units
         waiter = asyncio.get_running_loop().create_future()
         self._waiters[txn.txn_id] = waiter
@@ -185,7 +212,54 @@ class AsyncClusterService:
 
     def crash_partition(self, pid: int) -> None:
         """Crash-stop a partition (or the coordinator) right now."""
+        self._check_known_pid(pid)
+        if self.runtime.is_down(pid):
+            raise ConfigurationError(f"P{pid} is already crashed")
         self.runtime.crash(pid)
+
+    def recover_partition(self, pid: int) -> RecoveryEvent:
+        """Rejoin a crashed partition by WAL replay, right now.
+
+        Rebuilds the partition's :class:`~repro.db.partition.PartitionServer`
+        from its surviving write-ahead log — the volatile store, locks and
+        pending-transaction state of the old incarnation are discarded, as a
+        real restart would — then re-opens its links and resolves any in-doubt
+        transactions through termination queries to the coordinator and the
+        peer participants recorded in the WAL.  The client coordinator is not
+        recoverable (its outcome log is volatile by design).
+        """
+        self._check_known_pid(pid)
+        if pid == self.client_pid:
+            raise ConfigurationError(
+                "the client coordinator cannot rejoin: its outcome log is "
+                "volatile; only partitions are recoverable"
+            )
+        if not self.runtime.is_down(pid):
+            raise ConfigurationError(f"P{pid} is not crashed; nothing to recover")
+        n, f, _ = cluster_shape(self.config)
+        old = self.runtime.processes[pid]
+        server = build_partition(
+            pid, n, f, self.runtime.env_for(pid), self.config
+        )
+        replayed = server.recover_from_wal(old.wal, coordinator=self.client_pid)
+        self.runtime.recover(pid, server)
+        event = RecoveryEvent(
+            pid=pid,
+            crashed_at=self.runtime.crashes.get(pid, 0.0),
+            rejoined_at=self.runtime.recoveries[pid],
+            replayed_transactions=replayed,
+            in_doubt_at_rejoin=tuple(server.wal.in_doubt()),
+        )
+        self._recovery_events.append(event)
+        return event
+
+    def _check_known_pid(self, pid: int) -> None:
+        if pid not in self.runtime.processes:
+            raise ConfigurationError(
+                f"unknown process P{pid}: the cluster runs partitions "
+                f"P1..P{self.config.num_partitions} and the coordinator "
+                f"P{self.client_pid}"
+            )
 
     async def wait_all_completed(self, timeout_units: float) -> bool:
         """Wait until the coordinator has an outcome for every transaction."""
@@ -234,6 +308,7 @@ class AsyncClusterService:
             messages_until_last_decision=self.transport.messages_total,
             execution_class=_execution_class(self.transport, crashes),
             crashes=crashes,
+            recovery_events=list(self._recovery_events),
             backend="asyncio",
         )
 

@@ -77,7 +77,13 @@ class AsyncRuntime:
         self.processes: Dict[int, Process] = {}
         self.decisions: Dict[int, Any] = {}
         self.decision_times: Dict[int, float] = {}
+        #: pid -> first crash time; *history*, never un-recorded by recovery
+        #: (a crashed-then-recovered pid stays out of correctness accounting)
         self.crashes: Dict[int, float] = {}
+        #: pid -> last rejoin time
+        self.recoveries: Dict[int, float] = {}
+        #: pids currently down (liveness, as opposed to the crash history)
+        self._down: Set[int] = set()
         self.errors: List[Tuple[int, BaseException]] = []
         self._timer_generation: Dict[Tuple[int, str], int] = {}
         self._timer_tasks: Set[asyncio.Task] = set()
@@ -113,6 +119,9 @@ class AsyncRuntime:
             )
         self._t0 = time.monotonic()
         self._started = True
+        # outage windows on link policies are expressed in units since start;
+        # give the transport the same time base the timers use
+        self.transport.now_units = self.now_units
         for pid in range(1, self.n + 1):
             node = AsyncNode(pid, self)
             node.process = self.processes[pid]
@@ -175,7 +184,7 @@ class AsyncRuntime:
         if self._timer_generation.get((pid, name)) != generation:
             return
         node = self.nodes.get(pid)
-        if node is not None and pid not in self.crashes:
+        if node is not None and pid not in self._down:
             node.inbox.put_nowait(("timer", name, generation))
 
     # ------------------------------------------------------------------ #
@@ -196,18 +205,56 @@ class AsyncRuntime:
 
     def crash(self, pid: int) -> None:
         """Crash ``pid`` now: silence its links and stop handling its events."""
-        if pid in self.crashes:
+        if pid in self._down:
             return
-        self.crashes[pid] = self.now_units()
+        first = pid not in self.crashes
+        if first:
+            self.crashes[pid] = self.now_units()
+        self._down.add(pid)
         process = self.processes.get(pid)
         if process is not None and not process.crashed:
             process.crashed = True
             process.on_crash()
         self.transport.crash(pid)
-        if pid not in self.decisions:
+        # correctness accounting charges only the first crash: a recovered
+        # pid never re-enters the correct set, so a re-crash changes nothing
+        if first and pid not in self.decisions:
             self._undecided_correct -= 1
             if self._undecided_correct == 0:
                 self._all_decided.set()
+
+    def is_down(self, pid: int) -> bool:
+        """Whether ``pid`` is currently crashed (and not yet recovered)."""
+        return pid in self._down
+
+    def recover(self, pid: int, process: Optional[Process] = None) -> None:
+        """Rejoin a crashed pid with ``process`` (default: the crashed object).
+
+        Timer-generation-safe restart of the actor loop: every timer armed by
+        the previous incarnation is superseded before the replacement process
+        is bound, so no stale expiry can fire into the new one; the node's
+        consumer task never exited (it skips events while crashed — losing
+        in-crash traffic is the point), so rebinding the process and
+        re-opening the transport resumes service.  The pid stays in
+        ``crashes``: recovery restores liveness, not the correctness
+        accounting.  ``on_recover()`` runs on the node's consumer, serialised
+        with handlers like any other event.
+        """
+        if pid not in self._down:
+            raise ConfigurationError(f"P{pid} is not crashed; nothing to recover")
+        replacement = process if process is not None else self.processes[pid]
+        for key in self._timer_generation:
+            if key[0] == pid:
+                self._timer_generation[key] += 1
+        self._down.discard(pid)
+        replacement.crashed = False
+        self.processes[pid] = replacement
+        node = self.nodes.get(pid)
+        if node is not None:
+            node.process = replacement
+        self.transport.recover(pid)
+        self.recoveries[pid] = self.now_units()
+        self.call(pid, lambda p: p.on_recover())
 
     def record_error(self, pid: int, exc: BaseException) -> None:
         self.errors.append((pid, exc))

@@ -26,7 +26,7 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 
@@ -41,20 +41,40 @@ class LinkPolicy:
     jitter_units: float = 0.0
     #: probability a message is silently dropped
     drop_probability: float = 0.0
+    #: gray failure, slow-but-alive: multiplies the link's extra delay.
+    #: Policies are per *directed* link, so an asymmetric profile (slow one
+    #: way, nominal the other) is two policies with different factors.
+    slow_factor: float = 1.0
+    #: partition/heal windows ``(start, end)`` in units since runtime start:
+    #: messages sent while ``start <= now < end`` are dropped at the link;
+    #: after ``end`` the link is healed and carries traffic again
+    outages: Tuple[Tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.delay_units < 0 or self.jitter_units < 0:
             raise ConfigurationError("link delays must be non-negative")
         if not 0.0 <= self.drop_probability <= 1.0:
             raise ConfigurationError("drop_probability must be within [0, 1]")
+        if self.slow_factor <= 0:
+            raise ConfigurationError("slow_factor must be positive")
+        for window in self.outages:
+            if len(window) != 2 or not 0 <= window[0] < window[1]:
+                raise ConfigurationError(
+                    f"outage window must be (start, end) with 0 <= start < end, "
+                    f"got {window!r}"
+                )
 
     @property
     def max_delay_units(self) -> float:
-        return self.delay_units + self.jitter_units
+        return (self.delay_units + self.jitter_units) * self.slow_factor
 
     @property
     def faulty(self) -> bool:
-        return self.drop_probability > 0.0 or self.max_delay_units > 0.0
+        return (
+            self.drop_probability > 0.0
+            or self.max_delay_units > 0.0
+            or bool(self.outages)
+        )
 
 
 class LocalTransport:
@@ -76,6 +96,11 @@ class LocalTransport:
         self.messages_by_module: Dict[str, int] = {}
         self.dropped = 0
         self.delayed = 0
+        #: messages dropped inside an outage window (also counted in dropped)
+        self.outage_dropped = 0
+        #: clock hook in units since runtime start; the runtime installs its
+        #: own on start() so outage windows share the timers' time base
+        self.now_units: Callable[[], float] = lambda: 0.0
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -95,6 +120,14 @@ class LocalTransport:
     def crash(self, pid: int) -> None:
         """Silence ``pid`` both ways from this moment on."""
         self._crashed.add(pid)
+
+    def recover(self, pid: int) -> None:
+        """Re-open the links of a previously crashed ``pid``.
+
+        Traffic sent while it was down stays lost (at-most-once under
+        faults); only messages sent from now on reach it again.
+        """
+        self._crashed.discard(pid)
 
     def is_crashed(self, pid: int) -> bool:
         return pid in self._crashed
@@ -126,12 +159,19 @@ class LocalTransport:
             self._queues[dst].put_nowait(item)
             return
         policy = self.policy_for(src, dst)
+        if policy.outages:
+            now = self.now_units()
+            if any(start <= now < end for start, end in policy.outages):
+                self.dropped += 1
+                self.outage_dropped += 1
+                return
         if policy.drop_probability > 0 and self._rng.random() < policy.drop_probability:
             self.dropped += 1
             return
         delay_units = policy.delay_units
         if policy.jitter_units > 0:
             delay_units += self._rng.uniform(0.0, policy.jitter_units)
+        delay_units *= policy.slow_factor
         if delay_units <= 0:
             self._queues[dst].put_nowait(item)
             return

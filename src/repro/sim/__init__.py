@@ -19,12 +19,19 @@ implements that model as a deterministic discrete-event simulator:
 """
 
 from repro.sim.clock import VirtualClock
-from repro.sim.events import CrashEvent, MessageDeliveryEvent, ProposeEvent, TimerEvent
+from repro.sim.events import (
+    CrashEvent,
+    MessageDeliveryEvent,
+    ProposeEvent,
+    RecoverEvent,
+    TimerEvent,
+)
 from repro.sim.faults import DelayRule, FaultPlan
 from repro.sim.network import (
     AdversarialDelay,
     DelayModel,
     FixedDelay,
+    FlakyLinkDelay,
     LognormalDelay,
     Network,
     UniformDelay,
@@ -42,6 +49,7 @@ __all__ = [
     "DelayRule",
     "FaultPlan",
     "FixedDelay",
+    "FlakyLinkDelay",
     "LognormalDelay",
     "MessageDeliveryEvent",
     "MessageRecord",
@@ -49,6 +57,7 @@ __all__ = [
     "Process",
     "ProcessEnv",
     "ProposeEvent",
+    "RecoverEvent",
     "Simulation",
     "SimulationResult",
     "TRACE_LEVELS",

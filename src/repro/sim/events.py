@@ -19,6 +19,11 @@ from typing import Any
 
 # Priorities: lower value == processed earlier at equal time.
 PRIORITY_CRASH = 0
+# a recovery at time t happens before any traffic scheduled at t reaches the
+# rejoining process (ties against propose events break on seq, which is
+# deterministic); it shares the propose slot so existing orderings are
+# untouched on recovery-free runs
+PRIORITY_RECOVER = 1
 PRIORITY_PROPOSE = 1
 PRIORITY_DELIVERY = 2
 PRIORITY_TIMER = 3
@@ -73,6 +78,19 @@ class TimerEvent(Event):
 @dataclass(frozen=True)
 class CrashEvent(Event):
     """Scheduled crash of a process (it halts and sends nothing afterwards)."""
+
+    pid: int = 0
+
+
+@dataclass(frozen=True)
+class RecoverEvent(Event):
+    """Scheduled rejoin of a previously crashed process.
+
+    What the process rejoins *with* is up to the scheduler's recovery
+    factory; the default is the crashed object itself (amnesia-free rejoin),
+    while the cluster layer rebuilds partition servers from their
+    write-ahead log.
+    """
 
     pid: int = 0
 

@@ -112,6 +112,12 @@ class FaultPlan:
     crashes:
         Mapping process id -> crash time.  A process crashed at time ``t``
         handles no event scheduled at or after ``t`` and sends nothing.
+    recoveries:
+        Mapping process id -> rejoin time.  A recovered process resumes
+        handling events from its rejoin time on; what state it resumes with
+        is decided by the scheduler's recovery factory (the cluster layer
+        rebuilds partitions from their write-ahead log).  Every recovered pid
+        must also appear in ``crashes`` with an earlier crash time.
     delay_rules:
         Message-delay overrides (see :class:`DelayRule`).
     """
@@ -119,6 +125,7 @@ class FaultPlan:
     crashes: Dict[int, float] = field(default_factory=dict)
     delay_rules: List[DelayRule] = field(default_factory=list)
     description: str = ""
+    recoveries: Dict[int, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # constructors for the three execution classes
@@ -137,6 +144,24 @@ class FaultPlan:
     def crashes_at(cls, schedule: Dict[int, float]) -> "FaultPlan":
         """Multiple crashes (still a crash-failure execution)."""
         return cls(crashes=dict(schedule), description=f"crashes {schedule}")
+
+    @classmethod
+    def crash_recover(cls, pid: int, at: float, rejoin_at: float) -> "FaultPlan":
+        """Crash ``pid`` at ``at`` and rejoin it at ``rejoin_at``.
+
+        Still a crash-failure execution: the crash really happened, and the
+        property checker keeps treating the pid as faulty (it never re-enters
+        the ``correct`` set).  Recovery only restores liveness.
+        """
+        if rejoin_at <= at:
+            raise ConfigurationError(
+                f"rejoin time {rejoin_at} must be after the crash time {at}"
+            )
+        return cls(
+            crashes={pid: at},
+            recoveries={pid: rejoin_at},
+            description=f"crash P{pid}@{at} rejoin@{rejoin_at}",
+        )
 
     @classmethod
     def delay_messages(
@@ -161,10 +186,14 @@ class FaultPlan:
         crashes = dict(self.crashes)
         for pid, t in other.crashes.items():
             crashes[pid] = min(t, crashes.get(pid, t))
+        recoveries = dict(self.recoveries)
+        for pid, t in other.recoveries.items():
+            recoveries[pid] = min(t, recoveries.get(pid, t))
         return FaultPlan(
             crashes=crashes,
             delay_rules=list(self.delay_rules) + list(other.delay_rules),
             description=f"{self.description} + {other.description}".strip(" +"),
+            recoveries=recoveries,
         )
 
     def reset_rules(self) -> None:
@@ -202,3 +231,13 @@ class FaultPlan:
             raise ConfigurationError(
                 f"fault plan crashes {len(self.crashes)} processes but f={f}"
             )
+        for pid, rejoin_at in self.recoveries.items():
+            if pid not in self.crashes:
+                raise ConfigurationError(
+                    f"recovery of P{pid} has no matching crash in the plan"
+                )
+            if rejoin_at <= self.crashes[pid]:
+                raise ConfigurationError(
+                    f"P{pid} rejoins at {rejoin_at} but only crashes at "
+                    f"{self.crashes[pid]}"
+                )

@@ -109,6 +109,71 @@ class LognormalDelay:
         return self.u
 
 
+class FlakyLinkDelay:
+    """Gray failures on reliable channels: slow links and outage windows.
+
+    The simulator's channels never lose messages, so the runtime's
+    gray-failure profiles (:class:`~repro.runtime.transport.LinkPolicy`
+    ``slow_factor`` / ``outages``) map here onto *delays*:
+
+    * a directed link in ``slow_pairs`` multiplies its nominal delay by the
+      given factor — slow-but-alive; an asymmetric profile (slow one way,
+      nominal the other) is two entries with different factors;
+    * a message sent inside an outage window ``(src, dst, start, end)`` is
+      held until the window heals: it arrives ``(end - send_time) + nominal``
+      after sending, as if buffered by the partition.
+
+    Both effects may exceed the bound ``u``, which turns the execution into a
+    network-failure execution — the same classification the runtime derives
+    from its transport counters.  All randomness comes from the seeded RNG,
+    so the model is fingerprint-deterministic like every other delay model.
+    """
+
+    def __init__(
+        self,
+        u: float = 1.0,
+        jitter: float = 0.0,
+        slow_pairs: Optional[dict] = None,
+        outages: tuple = (),
+        seed: int = 0,
+    ):
+        if u <= 0:
+            raise ConfigurationError(f"delay bound must be positive, got {u}")
+        if not 0 <= jitter < u:
+            raise ConfigurationError(f"jitter must be within [0, u), got {jitter}")
+        self.u = u
+        self.jitter = jitter
+        self.slow_pairs = dict(slow_pairs or {})
+        for pair, factor in sorted(self.slow_pairs.items()):
+            if len(pair) != 2:
+                raise ConfigurationError(f"slow pair must be (src, dst), got {pair!r}")
+            if factor <= 0:
+                raise ConfigurationError(
+                    f"slow factor must be positive, got {factor} for {pair}"
+                )
+        self.outages = tuple(tuple(w) for w in outages)
+        for window in self.outages:
+            if len(window) != 4 or not 0 <= window[2] < window[3]:
+                raise ConfigurationError(
+                    "outage window must be (src, dst, start, end) with "
+                    f"0 <= start < end, got {window!r}"
+                )
+        self._rng = random.Random(seed)
+
+    def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
+        nominal = self.u
+        if self.jitter > 0:
+            nominal = self._rng.uniform(self.u - self.jitter, self.u)
+        d = nominal * self.slow_pairs.get((src, dst), 1.0)
+        for osrc, odst, start, end in self.outages:
+            if osrc == src and odst == dst and start <= send_time < end:
+                d = max(d, (end - send_time) + nominal)
+        return d
+
+    def bound(self) -> float:
+        return self.u
+
+
 class AdversarialDelay:
     """Delegates to a user-supplied function; used to build worst cases.
 

@@ -67,12 +67,14 @@ from repro.sim.events import (
     PRIORITY_CRASH,
     PRIORITY_DELIVERY,
     PRIORITY_PROPOSE,
+    PRIORITY_RECOVER,
     PRIORITY_TIMER,
     ControlEvent,
     CrashEvent,
     Event,
     MessageDeliveryEvent,
     ProposeEvent,
+    RecoverEvent,
     TimerEvent,
 )
 from repro.sim.faults import FaultPlan
@@ -171,9 +173,19 @@ class Scheduler:
         #: every controller decision that actually applied, as
         #: ``(step, kind, arg)`` tuples — the raw material of a ScheduleTrace
         self.applied_schedule_actions: List[tuple] = []
-        # schedule crashes up front
+        # how a crashed process rejoins: ``factory(pid, scheduler, old)`` must
+        # return the replacement Process, or None to refuse the recovery
+        # (None = rejoin the crashed object itself, amnesia-free)
+        self._recovery_factory: Optional[
+            Callable[[int, "Scheduler", Process], Optional[Process]]
+        ] = None
+        # schedule crashes (and planned rejoins) up front
         for pid, at in self.fault_plan.crashes.items():
             self._push(CrashEvent(time=at, priority=PRIORITY_CRASH, seq=self._next_seq(), pid=pid))
+        for pid, at in self.fault_plan.recoveries.items():
+            self._push(
+                RecoverEvent(time=at, priority=PRIORITY_RECOVER, seq=self._next_seq(), pid=pid)
+            )
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -361,6 +373,11 @@ class Scheduler:
             if self.inject_crash(pid, at=event.time):
                 self.applied_schedule_actions.append((step, "crash", pid))
             return event
+        if kind == "recover":
+            pid = int(action[1])
+            if self.inject_recovery(pid, at=event.time):
+                self.applied_schedule_actions.append((step, "recover", pid))
+            return event
         raise ConfigurationError(f"unknown schedule action {action!r}")
 
     def _defer_delivery(self, event: Event, extra: float) -> bool:
@@ -421,6 +438,64 @@ class Scheduler:
                 self._undecided_correct -= 1
         return True
 
+    # ------------------------------------------------------------------ #
+    # crash recovery
+    # ------------------------------------------------------------------ #
+    def set_recovery_factory(
+        self,
+        factory: Optional[Callable[[int, "Scheduler", Process], Optional[Process]]],
+    ) -> None:
+        """Install the hook deciding what a crashed pid rejoins *with*.
+
+        ``factory(pid, scheduler, old_process)`` returns the replacement
+        process (the cluster layer rebuilds a partition server from its
+        write-ahead log here) or ``None`` to refuse the recovery.  Without a
+        factory the crashed object itself rejoins, state intact.
+        """
+        self._recovery_factory = factory
+
+    def _cancel_all_timers(self, pid: int) -> None:
+        """Supersede every pending timer of ``pid`` (pre-crash incarnation)."""
+        for key in self._timer_generation:
+            if key[0] == pid:
+                self._timer_generation[key] += 1
+
+    def can_inject_recovery(self, pid: int) -> bool:
+        process = self.processes.get(pid)
+        return process is not None and process.crashed
+
+    def recover(self, pid: int) -> bool:
+        """Rejoin a crashed process at the current time; True if applied.
+
+        The pid stays *faulty* for the property checker — it crashed, and
+        recovery restores liveness, not correctness accounting — so neither
+        ``correct_pids`` nor the crash budget change.  Every timer armed
+        before the crash is superseded (the old incarnation must never fire
+        into the new one); the rejoining process starts over from
+        ``on_recover()``.
+        """
+        process = self.processes.get(pid)
+        if process is None or not process.crashed:
+            return False
+        self._cancel_all_timers(pid)
+        replacement = process
+        if self._recovery_factory is not None:
+            built = self._recovery_factory(pid, self, process)
+            if built is None:
+                return False
+            replacement = built
+        replacement.crashed = False
+        self.processes[pid] = replacement
+        self.trace.record_recovery(pid, self.clock.time_to_units(self.clock.now))
+        replacement.on_recover()
+        return True
+
+    def inject_recovery(self, pid: int, at: Optional[float] = None) -> bool:
+        """Schedule-controller recovery point (symmetric to inject_crash)."""
+        if not self.can_inject_recovery(pid):
+            return False
+        return self.recover(pid)
+
     def execution_class(self) -> str:
         """The execution's class, including schedule-controller effects.
 
@@ -463,6 +538,9 @@ class Scheduler:
                 process.crashed = True
                 process.on_crash()
             self.trace.record_crash(event.pid, self.clock.time_to_units(event.time))
+            return
+        if isinstance(event, RecoverEvent):
+            self.recover(event.pid)
             return
         if isinstance(event, ControlEvent):
             if callable(event.action):

@@ -96,6 +96,7 @@ class Trace:
     decisions: Dict[int, DecisionRecord] = field(default_factory=dict)
     proposals: Dict[int, ProposalRecord] = field(default_factory=dict)
     crashes: Dict[int, float] = field(default_factory=dict)
+    recoveries: Dict[int, float] = field(default_factory=dict)
     timers: List[TimerRecord] = field(default_factory=list)
     end_time: float = 0.0
     metadata: Dict[str, Any] = field(default_factory=dict)
@@ -135,6 +136,9 @@ class Trace:
 
     def record_crash(self, pid: int, time: float) -> None:
         self.crashes[pid] = time
+
+    def record_recovery(self, pid: int, time: float) -> None:
+        self.recoveries[pid] = time
 
     def record_timer(self, pid: int, name: str, time: float) -> None:
         self.timers.append(TimerRecord(pid=pid, name=name, time=time))
@@ -270,7 +274,7 @@ class Trace:
     # ------------------------------------------------------------------ #
     def _canonical(self) -> Dict[str, Any]:
         """Plain-data view of everything the trace recorded, in a fixed order."""
-        return {
+        canonical = {
             "level": self.trace_level,
             "n": self.n,
             "f": self.f,
@@ -293,6 +297,13 @@ class Trace:
             "timers": [[t.pid, t.name, t.time] for t in self.timers],
             "end_time": self.end_time,
         }
+        # recovery-free runs keep the exact canonical shape (and therefore
+        # fingerprints) they had before recoveries existed
+        if self.recoveries:
+            canonical["recoveries"] = {
+                str(pid): t for pid, t in sorted(self.recoveries.items())
+            }
+        return canonical
 
     def fingerprint(self) -> str:
         """Canonical digest of the recorded execution.
@@ -450,7 +461,7 @@ class CounterTrace(Trace):
 
     def _canonical(self) -> Dict[str, Any]:
         """Counters-level canonical view (strictly less than the full level)."""
-        return {
+        canonical = {
             "level": self.trace_level,
             "n": self.n,
             "f": self.f,
@@ -473,6 +484,11 @@ class CounterTrace(Trace):
             "crashes": {str(pid): t for pid, t in sorted(self.crashes.items())},
             "end_time": self.end_time,
         }
+        if self.recoveries:
+            canonical["recoveries"] = {
+                str(pid): t for pid, t in sorted(self.recoveries.items())
+            }
+        return canonical
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -13,7 +13,10 @@ import asyncio
 import pytest
 
 from repro.db.cluster import BACKENDS, ClusterConfig, run_cluster
+from repro.db.coordinator import RetryPolicy
+from repro.db.transaction import Operation, Transaction
 from repro.errors import ConfigurationError
+from repro.protocols.base import COMMIT
 from repro.protocols.registry import get_protocol
 from repro.runtime import (
     AsyncClusterService,
@@ -239,3 +242,167 @@ class TestLiveService:
                 await service.submit(workload.transactions[0])
 
         asyncio.run(drive())
+
+
+# --------------------------------------------------------------------------- #
+# crash recovery: rejoin by WAL replay, retry, fault-surface validation
+# --------------------------------------------------------------------------- #
+def spaced_transfers():
+    """Multi-partition transactions with a quiet window between them."""
+    return [
+        Transaction.of(
+            "t-early",
+            [Operation.write(1, "a", 10), Operation.write(2, "b", 20)],
+            submit_time=0.0,
+        ),
+        Transaction.of(
+            "t-after-rejoin",
+            [Operation.write(2, "b", 21), Operation.write(3, "c", 30)],
+            submit_time=60.0,
+        ),
+        Transaction.of(
+            "t-late",
+            [Operation.write(1, "a", 11), Operation.write(2, "d", 40)],
+            submit_time=100.0,
+        ),
+    ]
+
+
+class TestRecovery:
+    def test_fault_surface_raises_clear_configuration_errors(self):
+        workload = uniform_workload(
+            num_transactions=1, num_partitions=2, participants_per_txn=2, seed=0
+        )
+
+        async def drive():
+            service = AsyncClusterService(
+                ClusterConfig(num_partitions=2, max_time=100.0)
+            )
+            await service.start()
+            with pytest.raises(ConfigurationError, match="unknown process"):
+                service.crash_partition(99)
+            with pytest.raises(ConfigurationError, match="unknown process"):
+                service.recover_partition(99)
+            with pytest.raises(ConfigurationError, match="nothing to recover"):
+                service.recover_partition(1)
+            with pytest.raises(ConfigurationError, match="client coordinator"):
+                service.recover_partition(service.client_pid)
+            service.crash_partition(1)
+            with pytest.raises(ConfigurationError, match="already crashed"):
+                service.crash_partition(1)
+            service.crash_partition(service.client_pid)
+            with pytest.raises(ConfigurationError, match="client coordinator"):
+                await service.submit(workload.transactions[0])
+            await service.shutdown()
+
+        asyncio.run(drive())
+
+    def test_client_rejoin_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="client coordinator"):
+            AsyncClusterService(
+                ClusterConfig(
+                    num_partitions=2,
+                    # pid 3 is the client of a 2-partition cluster
+                    fault_plan=FaultPlan.crash_recover(3, at=5.0, rejoin_at=9.0),
+                )
+            )
+
+    def test_crash_and_rejoin_commits_the_fault_free_transaction_set(self):
+        # the acceptance scenario on the wall clock: P2 crashes in a quiet
+        # window and rejoins by WAL replay before the next transaction that
+        # needs it; with a retry policy absorbing unlucky timing, the run
+        # commits exactly the fault-free set and the invariant battery holds
+        # on the recovered store
+        base = dict(
+            num_partitions=3,
+            commit_protocol="INBAC",
+            commit_f=1,
+            seed=5,
+            max_time=400.0,
+            retry_policy=RetryPolicy(max_attempts=4, timeout_units=25.0),
+        )
+        free = run_cluster(
+            ClusterConfig(**base), spaced_transfers(), backend="asyncio"
+        )
+        recovered = run_cluster(
+            ClusterConfig(
+                **base,
+                fault_plan=FaultPlan.crash_recover(2, at=20.0, rejoin_at=40.0),
+            ),
+            spaced_transfers(),
+            backend="asyncio",
+        )
+        committed = lambda report: {
+            o.txn_id for o in report.outcomes if o.decision == COMMIT
+        }
+        assert committed(free) == committed(recovered) == {
+            "t-early", "t-after-rejoin", "t-late"
+        }
+        assert recovered.incomplete == 0
+        assert recovered.invariants is not None and recovered.invariants.holds
+        assert recovered.store_snapshots == free.store_snapshots
+        [event] = recovered.recovery_events
+        assert event.pid == 2
+        assert event.rejoined_at > event.crashed_at
+        assert event.replayed_transactions >= 1  # t-early was durable on P2
+        assert 2 in recovered.crashes
+        assert recovered.execution_class == "crash-failure"
+
+    def test_live_recover_partition_returns_the_event(self):
+        async def drive():
+            service = AsyncClusterService(
+                ClusterConfig(num_partitions=3, commit_f=1, max_time=200.0)
+            )
+            await service.start()
+            service.crash_partition(2)
+            await asyncio.sleep(service.unit * 2)
+            event = service.recover_partition(2)
+            report = await service.shutdown()
+            return event, report
+
+        event, report = asyncio.run(drive())
+        assert event.pid == 2
+        assert event.downtime > 0
+        assert report.recovery_events == [event]
+        assert report.invariants is not None and report.invariants.holds
+
+    def test_outage_windows_drop_and_heal(self):
+        workload = uniform_workload(
+            num_transactions=2, num_partitions=2, participants_per_txn=2, seed=9
+        )
+
+        async def drive():
+            service = AsyncClusterService(
+                ClusterConfig(
+                    num_partitions=2, commit_protocol="2PC", seed=9,
+                    max_time=100.0,
+                ),
+                # every link is down for the first 50 units, then heals
+                default_link_policy=LinkPolicy(outages=((0.0, 50.0),)),
+            )
+            await service.start()
+            first = await service.submit(
+                workload.transactions[0], timeout_units=10.0
+            )
+            while service.runtime.now_units() < 52.0:
+                await asyncio.sleep(service.unit)
+            second = await service.submit(
+                workload.transactions[1], timeout_units=30.0
+            )
+            report = await service.shutdown()
+            return first, second, report, service.transport.outage_dropped
+
+        first, second, report, outage_dropped = asyncio.run(drive())
+        assert first is None  # submitted into the outage window
+        assert second is not None and second.completed  # after the heal
+        assert outage_dropped > 0
+        assert report.execution_class == "network-failure"
+
+    def test_slow_factor_scales_link_delay(self):
+        policy = LinkPolicy(delay_units=2.0, jitter_units=1.0, slow_factor=3.0)
+        assert policy.max_delay_units == 9.0
+        assert policy.faulty
+        with pytest.raises(ConfigurationError):
+            LinkPolicy(slow_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkPolicy(outages=((5.0, 3.0),))
