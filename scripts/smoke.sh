@@ -39,16 +39,22 @@
 #      its write-ahead log on BOTH backends (sim via FaultPlan.crash_recover,
 #      asyncio via the live service), asserting the rejoined run still
 #      commits with the invariant battery clean, plus the policy check that
-#      the lint scope table exempts DET002 only under src/repro/runtime/.
+#      the lint scope table exempts DET002 only under src/repro/runtime/ and
+#      src/repro/obs/;
+#  13. an observability smoke: a sweep streamed through a jsonl progress
+#      reporter must fingerprint-match the unobserved run and emit a
+#      well-formed event stream, the Chrome trace export must carry every
+#      commit phase, and scripts/bench_report.py must fold every BENCH_*.json
+#      baseline into one trajectory summary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "==> [1/12] tier-1 tests (pytest from the repo root)"
+echo "==> [1/13] tier-1 tests (pytest from the repo root)"
 python -m pytest -x -q
 
-echo "==> [2/12] benchmark collection (must be > 0 tests)"
+echo "==> [2/13] benchmark collection (must be > 0 tests)"
 collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
 if [ "${collected}" -eq 0 ]; then
     echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
@@ -56,7 +62,7 @@ if [ "${collected}" -eq 0 ]; then
 fi
 echo "    collected ${collected} benchmark tests"
 
-echo "==> [3/12] every benchmark is ported onto repro.exp"
+echo "==> [3/13] every benchmark is ported onto repro.exp"
 for bench in benchmarks/bench_*.py; do
     if ! grep -q "from repro\.exp import" "${bench}"; then
         echo "ERROR: ${bench} does not import repro.exp (hand-rolled sweep loop?)" >&2
@@ -65,7 +71,7 @@ for bench in benchmarks/bench_*.py; do
 done
 echo "    all $(ls benchmarks/bench_*.py | wc -l | tr -d ' ') benchmarks import repro.exp"
 
-echo "==> [4/12] aggregate-mode sweep reproduces the in-memory aggregates"
+echo "==> [4/13] aggregate-mode sweep reproduces the in-memory aggregates"
 python - <<'EOF'
 from repro.exp import GridSpec, run_sweep
 
@@ -92,16 +98,16 @@ print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok "
       f"(both trace levels x both folds)")
 EOF
 
-echo "==> [5/12] one fast benchmark"
+echo "==> [5/13] one fast benchmark"
 python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
 
-echo "==> [6/12] examples"
+echo "==> [6/13] examples"
 for example in examples/*.py; do
     echo "--- ${example}"
     python "${example}" > /dev/null
 done
 
-echo "==> [7/12] sweep-throughput perf smoke (fast-path core baseline)"
+echo "==> [7/13] sweep-throughput perf smoke (fast-path core baseline)"
 bench_out=$(mktemp)
 python benchmarks/bench_sweep_throughput.py --quick --out "${bench_out}" > /dev/null
 python - "${bench_out}" <<'EOF'
@@ -123,7 +129,7 @@ print(f"    baseline emitted with {len(baseline['configs'])} configs, "
 EOF
 rm -f "${bench_out}"
 
-echo "==> [8/12] schedule-exploration smoke (adversarial search + replay)"
+echo "==> [8/13] schedule-exploration smoke (adversarial search + replay)"
 python - <<'EOF'
 from repro.explore import ScheduleTrace, explore, replay_trial
 from repro.exp.spec import GridSpec
@@ -157,7 +163,7 @@ print(f"    INBAC: 0 violations in {inbac.schedules_run} schedules; "
       f"{len(shrunk)} decision(s) replays deterministically")
 EOF
 
-echo "==> [9/12] cluster-exploration smoke (invariant battery + injected bug)"
+echo "==> [9/13] cluster-exploration smoke (invariant battery + injected bug)"
 python - <<'EOF'
 import sys
 sys.path.insert(0, "tests")  # the injected-bug fixture lives in the test tree
@@ -188,10 +194,10 @@ print(f"    INBAC: battery clean over {clean.schedules_run} schedules; "
       f"{len(hits[0].shrunk)} decision")
 EOF
 
-echo "==> [10/12] determinism lint + runtime sanitizer"
+echo "==> [10/13] determinism lint + runtime sanitizer"
 python -m repro.lint src benchmarks tests --sanitize
 
-echo "==> [11/12] runtime round-trip (asyncio transport, hard timeout)"
+echo "==> [11/13] runtime round-trip (asyncio transport, hard timeout)"
 python - <<'EOF2'
 import signal
 
@@ -225,7 +231,7 @@ print(f"    {len(protocol_names())} protocols committed for real over AsyncEnv")
 EOF2
 python -m pytest tests/test_packaging.py -q
 
-echo "==> [12/12] crash recovery: kill-and-rejoin one partition per backend"
+echo "==> [12/13] crash recovery: kill-and-rejoin one partition per backend"
 python - <<'EOF3'
 import signal
 
@@ -269,13 +275,84 @@ for backend in ("sim", "asyncio"):
     assert event.replayed_transactions >= 1, event
 
 # the lint scope table is policy: DET002 is the only scoped rule, exempt
-# only under the runtime package
+# only under the runtime and observability packages (both exist to read the
+# wall clock; OBS001 keeps the obs package out of deterministic layers)
 from repro.lint.rules import SCOPE_EXEMPTIONS
 
-assert SCOPE_EXEMPTIONS == {"DET002": ("src/repro/runtime/",)}, SCOPE_EXEMPTIONS
+assert SCOPE_EXEMPTIONS == {
+    "DET002": ("src/repro/runtime/", "src/repro/obs/")
+}, SCOPE_EXEMPTIONS
 signal.alarm(0)
 print("    both backends rejoined P2 from its WAL and kept committing; "
       "lint scope policy pinned")
 EOF3
+
+echo "==> [13/13] observability: progress stream, trace export, bench report"
+obs_dir=$(mktemp -d)
+python - "${obs_dir}" <<'EOF4'
+import json
+import sys
+
+from repro.exp import GridSpec, run_sweep
+from repro.obs import read_jsonl
+
+obs_dir = sys.argv[1]
+grid = lambda: GridSpec(
+    protocols=["INBAC", "2PC"],
+    systems=[(5, 2)],
+    delays=["uniform"],
+    seeds=range(10),
+)
+plain = run_sweep(grid(), workers=1, mode="aggregate", fold="chunk")
+progress_path = f"{obs_dir}/progress.jsonl"
+observed = run_sweep(grid(), workers=1, mode="aggregate", fold="chunk",
+                     progress=f"jsonl:{progress_path}")
+# observation never changes bytes: the hard constraint of the obs package
+assert observed.aggregate_fingerprint() == plain.aggregate_fingerprint(), (
+    "observed sweep fingerprint diverged from the unobserved run")
+assert observed.meta == plain.meta
+
+records = read_jsonl(progress_path)
+assert records[0]["phase"] == "start", records[:1]
+assert records[-1]["phase"] == "summary", records[-1:]
+chunks = [r for r in records if r["phase"] == "chunk"]
+assert chunks, "no chunk-progress events in the stream"
+assert records[-1]["trials_done"] == records[-1]["trials_total"] == 20
+assert all(r["event"] == "sweep.progress" for r in records)
+print(f"    progress stream: {len(records)} events "
+      f"({len(chunks)} chunks), fingerprint identical to the unobserved run")
+EOF4
+
+python -m repro.obs.export --chrome "${obs_dir}/trace.json" > /dev/null
+python - "${obs_dir}" <<'EOF5'
+import json
+import sys
+
+from repro.obs.tracing import TXN_PHASES
+
+with open(f"{sys.argv[1]}/trace.json") as handle:
+    trace = json.load(handle)
+spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+names = {e["name"] for e in spans}
+missing = set(TXN_PHASES) - names
+assert not missing, f"trace export missing commit phases: {missing}"
+print(f"    chrome trace: {len(spans)} spans covering all of {TXN_PHASES}")
+EOF5
+
+python scripts/bench_report.py --out "${obs_dir}/report.md" --json "${obs_dir}/report.json"
+python - "${obs_dir}" <<'EOF6'
+import json
+import sys
+
+with open(f"{sys.argv[1]}/report.json") as handle:
+    report = json.load(handle)
+names = {entry["benchmark"] for entry in report["benchmarks"]}
+for expected in ("sweep_throughput", "obs_overhead"):
+    assert expected in names, (expected, sorted(names))
+assert report["total_points"] > 0
+print(f"    bench report folded {len(names)} baselines, "
+      f"{report['total_points']} measured points")
+EOF6
+rm -rf "${obs_dir}"
 
 echo "smoke: OK"

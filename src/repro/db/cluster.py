@@ -80,6 +80,13 @@ class ClusterConfig:
     #: exponential backoff); works on both backends — the jitter draws from
     #: the client's per-process seeded RNG, so sim runs stay deterministic
     retry_policy: Optional[RetryPolicy] = None
+    #: optional duck-typed transaction tracer (``begin``/``end``/``complete``
+    #: with (pid, txn_id, name, t) — e.g. :class:`repro.obs.tracing.
+    #: TraceContext`), handed to the coordinator and every partition on both
+    #: backends.  Strictly out of band: span recording never feeds a decision,
+    #: a report field or a fingerprint, and this module never imports the obs
+    #: package
+    tracer: Optional[Any] = None
 
     def resolve_protocol(self) -> type:
         if isinstance(self.commit_protocol, str):
@@ -228,6 +235,7 @@ def build_partition(
         commit_protocol=config.resolve_protocol(),
         commit_f=config.commit_f,
         protocol_kwargs=config.protocol_kwargs,
+        tracer=config.tracer,
     )
 
 
@@ -248,6 +256,7 @@ def build_client(
         workload=list(transactions),
         prepare_margin=config.prepare_margin,
         retry_policy=config.retry_policy,
+        tracer=config.tracer,
     )
 
 

@@ -111,11 +111,15 @@ class ClientCoordinator(Process):
         workload: List[Transaction],
         prepare_margin: float = 1.0,
         retry_policy: Optional[RetryPolicy] = None,
+        tracer=None,
     ):
         super().__init__(pid, n, f, env)
         self.workload = list(workload)
         self.prepare_margin = prepare_margin
         self.retry_policy = retry_policy
+        #: optional duck-typed span tracer (see ClusterConfig.tracer) — out of
+        #: band, never consulted for any decision this process makes
+        self.tracer = tracer
         self.outcomes: Dict[str, TransactionOutcome] = {}
         #: resubmissions per transaction id (only transactions that retried)
         self.retry_counts: Dict[str, int] = {}
@@ -179,6 +183,14 @@ class ClientCoordinator(Process):
                     dict(txn.write_set(partition)),
                 ),
             )
+        if self.tracer is not None:
+            # the execute/prepare window this coordinator allots, plus the
+            # whole-transaction envelope (closed on the first DONE ack)
+            self.tracer.complete(
+                self.pid, txn.txn_id, "EXEC", self.now(), start_time,
+                attempt=self._attempts[txn.txn_id],
+            )
+            self.tracer.begin(self.pid, txn.txn_id, "txn", self.now())
         self._arm_retry(txn.txn_id)
 
     # ------------------------------------------------------------------ #
@@ -230,6 +242,13 @@ class ClientCoordinator(Process):
         outcome.decision = decision
         outcome.decide_time = decide_time
         outcome.ack_time = self.now()
+        if self.tracer is not None:
+            # first participant decision -> ack at the client (ack latency),
+            # and the end of the whole-transaction envelope
+            self.tracer.complete(
+                self.pid, txn_id, "DONE", decide_time, self.now(), decision=decision
+            )
+            self.tracer.end(self.pid, txn_id, "txn", self.now(), decision=decision)
         if self.on_outcome is not None:
             self.on_outcome(outcome)
 

@@ -89,6 +89,7 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import pickle
@@ -375,6 +376,60 @@ def _run_index(index: int) -> TrialResult:
     )
 
 
+def _maybe_profiled(label: str):
+    """cProfile wrapper for one unit of sweep work, gated on ``REPRO_PROFILE``.
+
+    Profiling is observability: it perturbs wall-clock timings but never the
+    aggregates, so the determinism battery runs a profiled sweep and checks
+    the fingerprint is unchanged.  The import is lazy and the gate is a plain
+    environment lookup, so unprofiled sweeps pay one dict probe per unit.
+    """
+    if os.environ.get("REPRO_PROFILE", "") not in ("", "0", "false", "False"):
+        from repro.obs.profile import profiled
+
+        return profiled(label)
+    return contextlib.nullcontext()
+
+
+def _emit_progress(
+    progress,
+    phase: str,
+    *,
+    trials_total: int,
+    trials_done: int,
+    chunks_total: int,
+    chunks_done: int,
+    workers: int,
+    mode: str,
+    fold: str,
+) -> None:
+    """Hand one count-only observation to the progress callback (parent side).
+
+    The engine supplies raw counts and nothing else — no timestamps, no
+    rates — so it stays inside the DET002 wall-clock rule; reporters in
+    :mod:`repro.obs.progress` add timing on their own clocks.  Callback
+    exceptions propagate: a broken reporter should fail the run loudly, not
+    silently observe nothing.
+    """
+    if progress is None:
+        return
+    from repro.obs.progress import ProgressEvent
+
+    progress(
+        ProgressEvent(
+            phase=phase,
+            trials_total=trials_total,
+            trials_done=trials_done,
+            chunks_total=chunks_total,
+            chunks_done=chunks_done,
+            queue_depth=max(0, chunks_total - chunks_done),
+            workers=workers,
+            mode=mode,
+            fold=fold,
+        )
+    )
+
+
 def _run_chunk(chunk_index: int) -> SweepAggregate:
     """Fold one contiguous trial-index chunk into a partial aggregate.
 
@@ -389,15 +444,16 @@ def _run_chunk(chunk_index: int) -> SweepAggregate:
     stop = min(start + _WORKER_CHUNK, len(_WORKER_TRIALS))
     override, default = _WORKER_LEVELS
     partial = SweepAggregate()
-    for index in range(start, stop):
-        trial = _WORKER_TRIALS[index]
-        partial.fold(
-            run_trial(
-                trial,
-                _WORKER_COLLECTOR,
-                trace_level=_effective_level(trial, override, default),
+    with _maybe_profiled(f"chunk{chunk_index:04d}"):
+        for index in range(start, stop):
+            trial = _WORKER_TRIALS[index]
+            partial.fold(
+                run_trial(
+                    trial,
+                    _WORKER_COLLECTOR,
+                    trace_level=_effective_level(trial, override, default),
+                )
             )
-        )
     return partial
 
 
@@ -564,6 +620,7 @@ def run_trials(
     trace_level: Optional[str] = None,
     fold: str = "auto",
     start_method: Optional[str] = None,
+    progress: Optional[Any] = None,
 ) -> Union[SweepResult, Any]:
     """Run an explicit trial list (see :func:`repro.exp.spec.make_cases`)."""
     if mode not in _MODES:
@@ -579,6 +636,11 @@ def run_trials(
             f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
         )
     trials = list(trials)
+    if progress is not None:
+        # lazy: the obs package is only imported when somebody observes
+        from repro.obs.progress import resolve_progress
+
+        progress = resolve_progress(progress)
     if isinstance(reducer, str):
         # registry-named sinks are spawn-safe and keep grids lambda-free
         from repro.exp.registry import make_reducer
@@ -628,6 +690,17 @@ def run_trials(
         meta["start_method"] = method
 
     if not streaming:
+        _emit_progress(
+            progress,
+            "start",
+            trials_total=len(trials),
+            trials_done=0,
+            chunks_total=len(trials),
+            chunks_done=0,
+            workers=meta["workers"],
+            mode=exec_mode,
+            fold="trial",
+        )
         if use_pool:
             ctx = multiprocessing.get_context(method)
             with ctx.Pool(
@@ -636,12 +709,59 @@ def run_trials(
                 initargs=(trials, collector, levels),
             ) as pool:
                 chunk = max(1, len(trials) // (n_workers * 4))
-                results = pool.map(_run_index, range(len(trials)), chunksize=chunk)
+                if progress is None:
+                    results = pool.map(_run_index, range(len(trials)), chunksize=chunk)
+                else:
+                    # imap yields in submission order, so the result list is
+                    # identical to pool.map's — it just arrives incrementally,
+                    # giving the parent a hook point per completed trial
+                    results = []
+                    for result in pool.imap(
+                        _run_index, range(len(trials)), chunksize=chunk
+                    ):
+                        results.append(result)
+                        _emit_progress(
+                            progress,
+                            "chunk",
+                            trials_total=len(trials),
+                            trials_done=len(results),
+                            chunks_total=len(trials),
+                            chunks_done=len(results),
+                            workers=meta["workers"],
+                            mode=exec_mode,
+                            fold="trial",
+                        )
         else:
-            results = [
-                run_trial(t, collector, trace_level=_effective_level(t, *levels))
-                for t in trials
-            ]
+            results = []
+            with _maybe_profiled("serial"):
+                for t in trials:
+                    results.append(
+                        run_trial(
+                            t, collector, trace_level=_effective_level(t, *levels)
+                        )
+                    )
+                    _emit_progress(
+                        progress,
+                        "chunk",
+                        trials_total=len(trials),
+                        trials_done=len(results),
+                        chunks_total=len(trials),
+                        chunks_done=len(results),
+                        workers=meta["workers"],
+                        mode=exec_mode,
+                        fold="trial",
+                    )
+        _emit_progress(
+            progress,
+            "summary",
+            trials_total=len(trials),
+            trials_done=len(results),
+            chunks_total=len(trials),
+            chunks_done=len(results),
+            workers=meta["workers"],
+            mode=exec_mode,
+            fold="trial",
+        )
         return SweepResult(trials=results, meta=meta)
 
     # streaming: per-trial folds stream every TrialResult back and fold it in
@@ -661,18 +781,128 @@ def run_trials(
         ) as pool:
             if chunked:
                 n_chunks = (len(trials) + chunk - 1) // chunk
+                _emit_progress(
+                    progress,
+                    "start",
+                    trials_total=len(trials),
+                    trials_done=0,
+                    chunks_total=n_chunks,
+                    chunks_done=0,
+                    workers=meta["workers"],
+                    mode=exec_mode,
+                    fold="chunk",
+                )
+                done = 0
                 for partial in pool.imap(_run_chunk, range(n_chunks), chunksize=1):
                     sink.merge(partial)
+                    done += 1
+                    _emit_progress(
+                        progress,
+                        "chunk",
+                        trials_total=len(trials),
+                        trials_done=min(done * chunk, len(trials)),
+                        chunks_total=n_chunks,
+                        chunks_done=done,
+                        workers=meta["workers"],
+                        mode=exec_mode,
+                        fold="chunk",
+                    )
+                _emit_progress(
+                    progress,
+                    "summary",
+                    trials_total=len(trials),
+                    trials_done=len(trials),
+                    chunks_total=n_chunks,
+                    chunks_done=done,
+                    workers=meta["workers"],
+                    mode=exec_mode,
+                    fold="chunk",
+                )
                 meta["fold"] = "chunk"
                 meta["chunk_size"] = chunk
                 meta["chunks"] = n_chunks
             else:
+                _emit_progress(
+                    progress,
+                    "start",
+                    trials_total=len(trials),
+                    trials_done=0,
+                    chunks_total=len(trials),
+                    chunks_done=0,
+                    workers=meta["workers"],
+                    mode=exec_mode,
+                    fold="trial",
+                )
+                done = 0
                 for result in pool.imap(_run_index, range(len(trials)), chunksize=chunk):
                     sink.fold(result)
+                    done += 1
+                    _emit_progress(
+                        progress,
+                        "chunk",
+                        trials_total=len(trials),
+                        trials_done=done,
+                        chunks_total=len(trials),
+                        chunks_done=done,
+                        workers=meta["workers"],
+                        mode=exec_mode,
+                        fold="trial",
+                    )
+                _emit_progress(
+                    progress,
+                    "summary",
+                    trials_total=len(trials),
+                    trials_done=done,
+                    chunks_total=len(trials),
+                    chunks_done=done,
+                    workers=meta["workers"],
+                    mode=exec_mode,
+                    fold="trial",
+                )
                 meta["fold"] = "trial"
     else:
-        for trial in trials:
-            sink.fold(run_trial(trial, collector, trace_level=_effective_level(trial, *levels)))
+        _emit_progress(
+            progress,
+            "start",
+            trials_total=len(trials),
+            trials_done=0,
+            chunks_total=len(trials),
+            chunks_done=0,
+            workers=meta["workers"],
+            mode=exec_mode,
+            fold="trial",
+        )
+        done = 0
+        with _maybe_profiled("serial"):
+            for trial in trials:
+                sink.fold(
+                    run_trial(
+                        trial, collector, trace_level=_effective_level(trial, *levels)
+                    )
+                )
+                done += 1
+                _emit_progress(
+                    progress,
+                    "chunk",
+                    trials_total=len(trials),
+                    trials_done=done,
+                    chunks_total=len(trials),
+                    chunks_done=done,
+                    workers=meta["workers"],
+                    mode=exec_mode,
+                    fold="trial",
+                )
+        _emit_progress(
+            progress,
+            "summary",
+            trials_total=len(trials),
+            trials_done=done,
+            chunks_total=len(trials),
+            chunks_done=done,
+            workers=meta["workers"],
+            mode=exec_mode,
+            fold="trial",
+        )
         meta["fold"] = "trial"
     if hasattr(sink, "meta"):
         sink.meta.update(meta)
@@ -688,6 +918,7 @@ def run_sweep(
     trace_level: Optional[str] = None,
     fold: str = "auto",
     start_method: Optional[str] = None,
+    progress: Optional[Any] = None,
 ) -> Union[SweepResult, Any]:
     """Expand a grid and run every trial, fanning out across workers.
 
@@ -752,6 +983,16 @@ def run_sweep(
         registry-named delay models, vote patterns, schedules and reducers
         (:mod:`repro.exp.registry`) are spawn-safe by construction.
         Results are byte-identical across start methods.
+    progress:
+        Live progress stream.  ``None`` (default) observes nothing; a
+        callable receives one count-only
+        :class:`~repro.obs.progress.ProgressEvent` per phase — ``start``,
+        one ``chunk`` per completed chunk (or trial, on per-trial paths),
+        ``summary`` — always in the parent process, after results crossed
+        the worker queue.  The strings ``"tty"`` and ``"jsonl:PATH"``
+        resolve to the stock reporters in :mod:`repro.obs.progress`.
+        Progress is strictly out of band: results, aggregates and
+        fingerprints are byte-identical with and without it.
     """
     trials = grid.trials() if isinstance(grid, GridSpec) else list(grid)
     return run_trials(
@@ -763,4 +1004,5 @@ def run_sweep(
         trace_level=trace_level,
         fold=fold,
         start_method=start_method,
+        progress=progress,
     )

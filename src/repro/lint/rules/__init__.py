@@ -29,6 +29,7 @@ from repro.lint.rules.fingerprint_paths import (
     SetInMessagePayloadRule,
     UnsortedFoldRule,
 )
+from repro.lint.rules.obs_isolation import ObsIsolationRule
 from repro.lint.rules.spawn_safety import SpawnSafetyRule
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "DigestSerialisationRule",
     "SetInMessagePayloadRule",
     "UnsortedFoldRule",
+    "ObsIsolationRule",
     "SpawnSafetyRule",
 ]
 
@@ -50,9 +52,13 @@ __all__ = [
 SCOPE_EXEMPTIONS: Dict[str, Tuple[str, ...]] = {
     # The asyncio transport runtime exists to run the protocols on the wall
     # clock: time.monotonic() is its clock source, not an accident.  The
-    # determinism contract is carried by the simulator, which stays fully
-    # covered; DET002 still runs over everything else under src/.
-    "DET002": ("src/repro/runtime/",),
+    # observability package exists to timestamp telemetry and compute live
+    # rates — wall-clock time is its subject matter, and the OBS001 rule plus
+    # the determinism-under-observation battery guarantee none of it can leak
+    # back into computation.  The determinism contract is carried by the
+    # simulator, which stays fully covered; DET002 still runs over everything
+    # else under src/.
+    "DET002": ("src/repro/runtime/", "src/repro/obs/"),
 }
 
 
@@ -65,6 +71,7 @@ def default_rules() -> List[Rule]:
         SetInMessagePayloadRule(),
         UnsortedFoldRule(),
         SpawnSafetyRule(),
+        ObsIsolationRule(),
     ]
     for rule in rules:
         rule.exempt_prefixes = SCOPE_EXEMPTIONS.get(rule.rule_id, ())

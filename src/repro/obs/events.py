@@ -1,0 +1,172 @@
+"""The structured event bus and its pluggable sinks.
+
+An :class:`Event` is a name plus a flat dict of plain-data fields and a wall
+clock timestamp (this package is scoped out of the DET002 wall-clock rule —
+telemetry timestamps are its purpose).  An :class:`EventBus` fans each event
+out to its sinks:
+
+* :class:`MemorySink` — in-process list, for tests;
+* :class:`StderrSink` — one compact line per event;
+* :class:`JsonlSink` — one ``json.dumps(..., sort_keys=True)`` line per
+  event, appended to a file: the format the smoke stage and the progress
+  reporters validate.
+
+Sink *configuration* is carried by :class:`SinkSpec` — a frozen plain-data
+record (kind + path), picklable by construction, so it can sit in a spawn
+pool's init arguments or a service config without dragging file handles
+across a process boundary; ``build()`` opens the actual sink in whichever
+process uses it.
+
+Everything here is out of band: events never feed a trace or sweep
+fingerprint (the OBS001 rule and the determinism-under-observation battery
+enforce it).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Event:
+    """One structured telemetry record."""
+
+    name: str
+    #: wall-clock seconds (time.time) at emission
+    wall_time: float
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"event": self.name, "wall_time": self.wall_time}
+        for key in sorted(self.fields):
+            record[key] = self.fields[key]
+        return record
+
+
+class MemorySink:
+    """Collects events in a list (tests and programmatic inspection)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def names(self) -> List[str]:
+        return [event.name for event in self.events]
+
+    def close(self) -> None:
+        pass
+
+
+class StderrSink:
+    """One compact ``name key=value ...`` line per event."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: Event) -> None:
+        parts = [event.name] + [
+            f"{key}={event.fields[key]}" for key in sorted(event.fields)
+        ]
+        self.stream.write("[obs] " + " ".join(parts) + "\n")
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """One sorted-keys JSON object per line, appended to ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def emit(self, event: Event) -> None:
+        self._handle.write(
+            json.dumps(event.to_jsonable(), sort_keys=True, default=str) + "\n"
+        )
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+#: the sink kinds SinkSpec.build understands
+SINK_KINDS = ("memory", "stderr", "jsonl")
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """Plain-data sink configuration (picklable; see module docstring)."""
+
+    kind: str = "stderr"
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SINK_KINDS:
+            raise ConfigurationError(
+                f"unknown sink kind {self.kind!r}; expected one of {SINK_KINDS}"
+            )
+        if self.kind == "jsonl" and not self.path:
+            raise ConfigurationError("a jsonl sink needs a path")
+
+    def build(self):
+        if self.kind == "memory":
+            return MemorySink()
+        if self.kind == "jsonl":
+            return JsonlSink(self.path)
+        return StderrSink()
+
+
+class EventBus:
+    """Fans structured events out to zero or more sinks."""
+
+    def __init__(self, sinks: Optional[List[Any]] = None) -> None:
+        self.sinks: List[Any] = list(sinks or [])
+        self.emitted = 0
+
+    def add_sink(self, sink: Any) -> Any:
+        self.sinks.append(sink)
+        return sink
+
+    def emit(self, name: str, **fields: Any) -> Event:
+        event = Event(name=name, wall_time=time.time(), fields=fields)
+        self.emitted += 1
+        for sink in self.sinks:
+            sink.emit(event)
+        return event
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines event file back into dicts (validation helper)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "JsonlSink",
+    "MemorySink",
+    "SINK_KINDS",
+    "SinkSpec",
+    "StderrSink",
+    "read_jsonl",
+]

@@ -1,0 +1,223 @@
+"""Process-local metrics: counters, gauges and histograms with exact merges.
+
+A :class:`MetricsRegistry` is a plain dictionary of named instruments.  Its
+design mirrors the sweep engine's :class:`~repro.exp.results.CellAccumulator`
+discipline — the repo's reference pattern for statistics that must not care
+about arrival order:
+
+* counters are integer tallies (addition commutes);
+* gauges merge by ``max`` (the only commutative, associative, idempotent
+  reduction that needs no timestamps);
+* histograms keep a value -> multiplicity digest and reduce (sum, mean,
+  percentiles) over ``sorted(...)`` items only at read time, so two
+  snapshots merged in either order produce byte-identical summaries.
+
+A :class:`MetricsSnapshot` is the frozen, picklable export of a registry:
+plain dicts, safe to ship across a process boundary or serialise with
+``json.dumps(..., sort_keys=True)``.  ``snapshot_a.merge(snapshot_b)`` is
+exact — the same guarantee :meth:`CellAccumulator.merge` gives chunk folds.
+
+Everything here is strictly out of band: nothing in this module is allowed
+to feed a trace or sweep fingerprint (enforced by the OBS001 lint rule and
+the determinism-under-observation test battery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing integer tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time float measurement (last write wins locally)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A value -> multiplicity digest (exact, order-independent).
+
+    ``observe`` folds one measurement; summaries reduce over ``sorted``
+    digest items at read time, mirroring the ``_digest_percentile`` helper
+    in :mod:`repro.exp.results` so the same data always yields the same
+    bytes regardless of observation order.
+    """
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self) -> None:
+        self.counts: Dict[float, int] = {}
+        self.total = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[value] = self.counts.get(value, 0) + 1
+        self.total += 1
+
+    def sum(self) -> float:
+        return sum(value * count for value, count in sorted(self.counts.items()))
+
+    def mean(self) -> Optional[float]:
+        if self.total == 0:
+            return None
+        return self.sum() / self.total
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile over the digest (exact, byte-stable)."""
+        if self.total == 0:
+            return None
+        rank = max(1, int(round(q / 100.0 * self.total)))
+        cumulative = 0
+        for value, count in sorted(self.counts.items()):
+            cumulative += count
+            if cumulative >= rank:
+                return value
+        return sorted(self.counts)[-1]  # pragma: no cover - rank <= total
+
+
+@dataclass
+class MetricsSnapshot:
+    """Frozen, picklable export of a registry; merges exactly."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[float, int]] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> None:
+        """Fold ``other`` in; commutative and associative like the cell folds."""
+        for name in sorted(other.counters):
+            self.counters[name] = self.counters.get(name, 0) + other.counters[name]
+        for name in sorted(other.gauges):
+            mine = self.gauges.get(name)
+            theirs = other.gauges[name]
+            self.gauges[name] = theirs if mine is None else max(mine, theirs)
+        for name in sorted(other.histograms):
+            digest = self.histograms.setdefault(name, {})
+            for value, count in sorted(other.histograms[name].items()):
+                digest[value] = digest.get(value, 0) + count
+
+    def histogram_summary(self, name: str) -> Dict[str, Optional[float]]:
+        histogram = Histogram()
+        for value, count in sorted(self.histograms.get(name, {}).items()):
+            histogram.counts[value] = count
+            histogram.total += count
+        return {
+            "count": float(histogram.total),
+            "mean": histogram.mean(),
+            "p50": histogram.percentile(50),
+            "p99": histogram.percentile(99),
+        }
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """Sorted plain-data rendering (JSON keys must be strings)."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "histograms": {
+                name: [
+                    [value, count]
+                    for value, count in sorted(self.histograms[name].items())
+                ]
+                for name in sorted(self.histograms)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first use.
+
+    Process-local and lock-free: both runtimes drive handlers from a single
+    thread (the simulator's event loop or asyncio's), so plain dict updates
+    are safe.  ``snapshot()`` exports the current state as plain data.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------- #
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        return histogram
+
+    # -- shorthand record paths --------------------------------------------- #
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- export -------------------------------------------------------------- #
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            gauges={
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+                if self._gauges[name].value is not None
+            },
+            histograms={
+                name: dict(sorted(self._histograms[name].counts.items()))
+                for name in sorted(self._histograms)
+            },
+        )
+
+    def counter_value(self, name: str) -> int:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def names(self) -> List[Tuple[str, str]]:
+        """Every registered instrument as sorted ``(kind, name)`` pairs."""
+        entries = (
+            [("counter", name) for name in self._counters]
+            + [("gauge", name) for name in self._gauges]
+            + [("histogram", name) for name in self._histograms]
+        )
+        return sorted(entries)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+]

@@ -1,0 +1,188 @@
+"""Live sweep progress: the ``run_sweep(progress=...)`` callback protocol.
+
+The engine (:mod:`repro.exp.engine`) emits :class:`ProgressEvent` records at
+its sanctioned hook points — one ``start``, one per completed chunk (or
+per-trial batch), one ``summary`` — always from the *parent* process, after
+results have crossed the worker queue.  Two consequences, both load-bearing:
+
+* progress callbacks never cross a process boundary, so closures are fine
+  even under the ``spawn`` start method (the spec itself still has to be
+  spawn-safe, exactly as without progress);
+* the engine hands over raw counts only.  Rates and elapsed time are
+  computed *here*, on the reporter's own clock — the engine stays under the
+  DET002 wall-clock rule while this package is scoped out of it.
+
+Reporters are plain callables taking one :class:`ProgressEvent`:
+
+* :class:`TTYProgressReporter` — a live one-line display on a stream;
+* :class:`JsonlProgressReporter` — one JSON line per event (the format the
+  smoke stage validates), enriched with ``elapsed_s`` and ``trials_per_s``;
+* :class:`MetricsProgressReporter` — counters/gauges only, the cheapest
+  variant (the ≤5 % overhead bar in ``benchmarks/bench_obs_overhead.py`` is
+  measured against it).
+
+``resolve_progress`` turns the string forms ``"tty"`` and ``"jsonl:PATH"``
+into reporters so CLI layers can pass progress through a flag.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.events import JsonlSink, Event
+from repro.obs.metrics import MetricsRegistry
+
+#: the phases a ProgressEvent can carry
+PROGRESS_PHASES = ("start", "chunk", "summary")
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress observation from the sweep engine (plain data, picklable).
+
+    Counts only — no wall-clock fields; reporters add timing on receipt.
+    ``queue_depth`` is the number of chunks (or per-trial batches) still
+    outstanding, the engine's proxy for how much work the pool holds.
+    """
+
+    phase: str
+    trials_total: int
+    trials_done: int
+    chunks_total: int
+    chunks_done: int
+    queue_depth: int
+    workers: int
+    mode: str  # "serial" | "parallel"
+    fold: str  # "trial" | "chunk"
+
+    @property
+    def fraction_done(self) -> float:
+        if self.trials_total == 0:
+            return 1.0
+        return self.trials_done / self.trials_total
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class TTYProgressReporter:
+    """A live one-line progress display (carriage-return rewrites)."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._t0: Optional[float] = None
+
+    def __call__(self, event: ProgressEvent) -> None:
+        now = time.monotonic()
+        if event.phase == "start" or self._t0 is None:
+            self._t0 = now
+        elapsed = max(now - self._t0, 1e-9)
+        rate = event.trials_done / elapsed
+        line = (
+            f"sweep [{event.mode}/{event.fold} x{event.workers}] "
+            f"{event.trials_done}/{event.trials_total} trials "
+            f"({100.0 * event.fraction_done:5.1f}%) "
+            f"{rate:8.1f} t/s  queue={event.queue_depth}"
+        )
+        end = "\n" if event.phase == "summary" else "\r"
+        self.stream.write("\r" + line + end)
+
+
+class JsonlProgressReporter:
+    """One JSON line per progress event, with reporter-side timing."""
+
+    def __init__(self, path: str) -> None:
+        self.sink = JsonlSink(path)
+        self.path = path
+        self._t0: Optional[float] = None
+
+    def __call__(self, event: ProgressEvent) -> None:
+        now = time.monotonic()
+        if event.phase == "start" or self._t0 is None:
+            self._t0 = now
+        elapsed = now - self._t0
+        fields = {
+            "phase": event.phase,
+            "trials_total": event.trials_total,
+            "trials_done": event.trials_done,
+            "chunks_total": event.chunks_total,
+            "chunks_done": event.chunks_done,
+            "queue_depth": event.queue_depth,
+            "workers": event.workers,
+            "mode": event.mode,
+            "fold": event.fold,
+            "elapsed_s": round(elapsed, 6),
+            "trials_per_s": (
+                round(event.trials_done / elapsed, 3) if elapsed > 0 else None
+            ),
+        }
+        self.sink.emit(Event(name="sweep.progress", wall_time=time.time(), fields=fields))
+        if event.phase == "summary":
+            self.close()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class MetricsProgressReporter:
+    """Counters/gauges only — the minimal-overhead progress consumer."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def __call__(self, event: ProgressEvent) -> None:
+        registry = self.registry
+        if event.phase == "chunk":
+            registry.inc("sweep.chunks_done")
+        elif event.phase == "start":
+            registry.inc("sweep.runs")
+            registry.set_gauge("sweep.trials_total", event.trials_total)
+        else:
+            registry.inc("sweep.runs_completed")
+        registry.set_gauge("sweep.trials_done", event.trials_done)
+        registry.set_gauge("sweep.queue_depth", event.queue_depth)
+        registry.set_gauge("sweep.workers", event.workers)
+
+
+class CollectingProgress:
+    """Accumulates every event in a list (tests)."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.events.append(event)
+
+
+def resolve_progress(progress: Any) -> Optional[ProgressCallback]:
+    """Normalise the engine's ``progress=`` argument to a callback.
+
+    Accepts ``None``, any callable, ``"tty"`` or ``"jsonl:PATH"``; anything
+    else raises :class:`~repro.errors.ConfigurationError` naming the value.
+    """
+    if progress is None or callable(progress):
+        return progress
+    if isinstance(progress, str):
+        if progress == "tty":
+            return TTYProgressReporter()
+        if progress.startswith("jsonl:") and len(progress) > len("jsonl:"):
+            return JsonlProgressReporter(progress[len("jsonl:"):])
+    raise ConfigurationError(
+        f"progress must be a callable, 'tty' or 'jsonl:PATH', got {progress!r}"
+    )
+
+
+__all__ = [
+    "CollectingProgress",
+    "JsonlProgressReporter",
+    "MetricsProgressReporter",
+    "PROGRESS_PHASES",
+    "ProgressCallback",
+    "ProgressEvent",
+    "TTYProgressReporter",
+    "resolve_progress",
+]

@@ -1,0 +1,201 @@
+"""Transaction span tracing across coordinator and partitions, both runtimes.
+
+A :class:`TraceContext` follows transactions through the cluster stack and
+records one :class:`Span` per protocol phase, timestamped by whatever clock
+the hosting runtime exposes through ``env.now()`` — virtual units U under
+the simulator (deterministic: a fixed seed reproduces every span byte for
+byte), wall-clock units under the asyncio runtime.  The phases mirror the
+commit protocol's life cycle (and the paper's latency accounting — *where
+the message delays go*):
+
+* ``EXEC`` — coordinator: submission until the agreed commit-round start
+  (the execute/prepare window the coordinator allots);
+* ``PREPARE-vote`` — partition: EXEC receipt (locks taken, WAL ``PREPARE``
+  appended, vote derived) until the commit round starts;
+* ``decision`` — partition: commit-round start until the embedded commit
+  protocol decides there;
+* ``DONE`` — coordinator: first participant decision until the ``DONE`` ack
+  lands at the client (the report's ack latency);
+* ``txn`` — coordinator: the whole submission-to-ack envelope;
+* ``OUTCOME?`` — recovering partition: termination query issued until the
+  outcome is installed (the recovery spans of PR 8's rejoin path).
+
+Recording is strictly out of band: the db/runtime layers call a tracer they
+were *handed* (``ClusterConfig.tracer``), never import this package, and a
+``None`` tracer costs one attribute check per hook point.  Spans never touch
+a trace or sweep fingerprint (OBS001 + the determinism battery enforce it).
+
+``to_chrome()`` renders the Chrome trace-event JSON consumed by
+``chrome://tracing`` / Perfetto; ``python -m repro.obs.export`` wraps it in
+a CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: the per-phase span names a commit transaction produces (in phase order)
+TXN_PHASES = ("EXEC", "PREPARE-vote", "decision", "DONE")
+
+#: microseconds per unit of U in the Chrome export: one unit renders as 1 ms
+CHROME_US_PER_UNIT = 1000.0
+
+
+@dataclass
+class Span:
+    """One closed interval of one transaction on one process."""
+
+    name: str
+    txn_id: str
+    pid: int
+    start: float
+    end: float
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "txn_id": self.txn_id,
+            "pid": self.pid,
+            "start": self.start,
+            "end": self.end,
+            "args": {key: self.args[key] for key in sorted(self.args)},
+        }
+
+
+class TraceContext:
+    """Collects spans; shared by every process of one cluster run.
+
+    ``clock`` labels the time base ("units" under the simulator, "wall-units"
+    under asyncio) — purely descriptive, the numbers are whatever the host
+    runtime's ``now()`` returns.
+    """
+
+    def __init__(self, clock: str = "units") -> None:
+        self.clock = clock
+        self.spans: List[Span] = []
+        self._open: Dict[Tuple[int, str, str], Span] = {}
+
+    # -- record paths -------------------------------------------------------- #
+    def begin(self, pid: int, txn_id: str, name: str, t: float, **args: Any) -> None:
+        """Open a span; a re-begin of an open (pid, txn, name) restarts it."""
+        self._open[(pid, txn_id, name)] = Span(
+            name=name, txn_id=txn_id, pid=pid, start=t, end=t, args=dict(args)
+        )
+
+    def end(self, pid: int, txn_id: str, name: str, t: float, **args: Any) -> None:
+        """Close a span opened by :meth:`begin`; unmatched ends are dropped."""
+        span = self._open.pop((pid, txn_id, name), None)
+        if span is None:
+            return
+        span.end = max(t, span.start)
+        span.args.update(args)
+        self.spans.append(span)
+
+    def complete(
+        self, pid: int, txn_id: str, name: str, start: float, end: float, **args: Any
+    ) -> None:
+        """Record a span whose bounds are both known at the call site."""
+        self.spans.append(
+            Span(
+                name=name,
+                txn_id=txn_id,
+                pid=pid,
+                start=start,
+                end=max(end, start),
+                args=dict(args),
+            )
+        )
+
+    # -- queries ------------------------------------------------------------- #
+    def spans_of(self, txn_id: str) -> List[Span]:
+        return [span for span in self.spans if span.txn_id == txn_id]
+
+    def phases_of(self, txn_id: str) -> List[str]:
+        """Distinct span names of one transaction, in first-recorded order."""
+        seen: List[str] = []
+        for span in self.spans:
+            if span.txn_id == txn_id and span.name not in seen:
+                seen.append(span.name)
+        return seen
+
+    def transaction_ids(self) -> List[str]:
+        seen: List[str] = []
+        for span in self.spans:
+            if span.txn_id not in seen:
+                seen.append(span.txn_id)
+        return seen
+
+    def open_count(self) -> int:
+        """Spans begun but never ended (normally 0 after a completed run)."""
+        return len(self._open)
+
+    # -- export -------------------------------------------------------------- #
+    def to_jsonable(self) -> Dict[str, Any]:
+        ordered = sorted(
+            self.spans, key=lambda s: (s.start, s.pid, s.txn_id, s.name, s.end)
+        )
+        return {
+            "clock": self.clock,
+            "spans": [span.to_jsonable() for span in ordered],
+        }
+
+    def to_chrome(self, us_per_unit: float = CHROME_US_PER_UNIT) -> Dict[str, Any]:
+        """Chrome trace-event JSON: one complete ("X") event per span.
+
+        The track layout puts every process on its own ``pid`` row with one
+        ``tid`` lane per transaction (lanes numbered by first appearance in
+        start order), so a commit's critical path reads left to right in
+        ``chrome://tracing``.  Event order is canonical (sorted), so a
+        fixed-seed simulator run exports byte-identical JSON.
+        """
+        ordered = sorted(
+            self.spans, key=lambda s: (s.start, s.pid, s.txn_id, s.name, s.end)
+        )
+        lane_of: Dict[str, int] = {}
+        for span in ordered:
+            if span.txn_id not in lane_of:
+                lane_of[span.txn_id] = len(lane_of) + 1
+        events: List[Dict[str, Any]] = []
+        for pid in sorted({span.pid for span in ordered}):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"P{pid}"},
+                }
+            )
+        for span in ordered:
+            args = {key: span.args[key] for key in sorted(span.args)}
+            args["txn_id"] = span.txn_id
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": "txn",
+                    "pid": span.pid,
+                    "tid": lane_of[span.txn_id],
+                    "ts": round(span.start * us_per_unit, 3),
+                    "dur": round(span.duration * us_per_unit, 3),
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": self.clock, "us_per_unit": us_per_unit},
+        }
+
+    def chrome_json(self, us_per_unit: float = CHROME_US_PER_UNIT) -> str:
+        return json.dumps(self.to_chrome(us_per_unit), sort_keys=True, indent=2)
+
+
+__all__ = ["CHROME_US_PER_UNIT", "Span", "TXN_PHASES", "TraceContext"]

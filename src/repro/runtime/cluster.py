@@ -24,7 +24,8 @@ jitter, drop) and ``fault_plan.crashes`` (which carries over unchanged).
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional, Sequence, Tuple
+import time
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.db.cluster import (
     ClusterConfig,
@@ -91,6 +92,8 @@ class AsyncClusterService:
         unit: float = DEFAULT_CLUSTER_UNIT_SECONDS,
         default_link_policy: Optional[LinkPolicy] = None,
         link_policies: Optional[Dict[Tuple[int, int], LinkPolicy]] = None,
+        metrics: Optional[Any] = None,
+        events: Optional[Any] = None,
     ):
         _check_runtime_config(config)
         if config.num_partitions < 2:
@@ -104,15 +107,23 @@ class AsyncClusterService:
             )
         self.config = config
         self.unit = unit
+        #: optional duck-typed telemetry sinks, threaded into the transport
+        #: and runtime and fed by the service's own lifecycle hooks (crash,
+        #: rejoin, WAL replay, in-doubt resolution, retries).  Strictly out
+        #: of band — never consulted for any decision; this module never
+        #: imports the obs package
+        self.metrics = metrics
+        self.events = events
         n, f, client_pid = cluster_shape(config)
         self.client_pid = client_pid
-        self.transport = LocalTransport(unit=unit, seed=config.seed)
+        self.transport = LocalTransport(unit=unit, seed=config.seed, metrics=metrics)
         if default_link_policy is not None:
             self.transport.set_default_policy(default_link_policy)
         for (src, dst), policy in sorted((link_policies or {}).items()):
             self.transport.set_link_policy(src, dst, policy)
         self.runtime = AsyncRuntime(
-            n, f, unit=unit, seed=config.seed, transport=self.transport
+            n, f, unit=unit, seed=config.seed, transport=self.transport,
+            metrics=metrics,
         )
         self.client: Optional[ClientCoordinator] = None
         self._waiters: Dict[str, asyncio.Future] = {}
@@ -216,6 +227,12 @@ class AsyncClusterService:
         if self.runtime.is_down(pid):
             raise ConfigurationError(f"P{pid} is already crashed")
         self.runtime.crash(pid)
+        if self.metrics is not None:
+            self.metrics.inc("cluster.crashes")
+        if self.events is not None:
+            self.events.emit(
+                "cluster.crash", pid=pid, at_units=self.runtime.crashes.get(pid)
+            )
 
     def recover_partition(self, pid: int) -> RecoveryEvent:
         """Rejoin a crashed partition by WAL replay, right now.
@@ -241,7 +258,9 @@ class AsyncClusterService:
         server = build_partition(
             pid, n, f, self.runtime.env_for(pid), self.config
         )
+        replay_t0 = time.monotonic()
         replayed = server.recover_from_wal(old.wal, coordinator=self.client_pid)
+        replay_seconds = time.monotonic() - replay_t0
         self.runtime.recover(pid, server)
         event = RecoveryEvent(
             pid=pid,
@@ -251,6 +270,19 @@ class AsyncClusterService:
             in_doubt_at_rejoin=tuple(server.wal.in_doubt()),
         )
         self._recovery_events.append(event)
+        if self.metrics is not None:
+            self.metrics.inc("cluster.rejoins")
+            self.metrics.inc("cluster.in_doubt_at_rejoin", len(event.in_doubt_at_rejoin))
+            self.metrics.observe("cluster.wal_replay_seconds", replay_seconds)
+        if self.events is not None:
+            self.events.emit(
+                "cluster.rejoin",
+                pid=pid,
+                replayed_transactions=replayed,
+                in_doubt=len(event.in_doubt_at_rejoin),
+                downtime_units=event.downtime,
+                wal_replay_seconds=replay_seconds,
+            )
         return event
 
     def _check_known_pid(self, pid: int) -> None:
@@ -296,6 +328,29 @@ class AsyncClusterService:
             for pid in range(1, self.config.num_partitions + 1)
         }
         crashes = dict(self.runtime.crashes)
+        if self.metrics is not None or self.events is not None:
+            # in-doubt resolution: queried at rejoin minus still unresolved now
+            queried = sum(
+                len(e.in_doubt_at_rejoin) for e in self._recovery_events
+            )
+            unresolved = sum(
+                len(server.in_doubt_transactions())
+                for server in partition_servers.values()
+            )
+            resolved = max(0, queried - unresolved)
+            retries = sum(self.client.retry_counts.values())
+            if self.metrics is not None:
+                self.metrics.inc("cluster.in_doubt_resolved", resolved)
+                self.metrics.inc("cluster.retries", retries)
+            if self.events is not None:
+                self.events.emit(
+                    "cluster.shutdown",
+                    end_units=end_time,
+                    transactions=len(self.client.outcomes),
+                    in_doubt_resolved=resolved,
+                    retries=retries,
+                    crashes=len(crashes),
+                )
         return build_report(
             self.config,
             self.client,
@@ -320,6 +375,8 @@ def run_cluster_async(
     unit: float = DEFAULT_CLUSTER_UNIT_SECONDS,
     timeout_units: Optional[float] = None,
     default_link_policy: Optional[LinkPolicy] = None,
+    metrics: Optional[Any] = None,
+    events: Optional[Any] = None,
 ) -> ClusterReport:
     """Batch counterpart of :func:`repro.db.cluster.run_cluster` on asyncio.
 
@@ -334,7 +391,11 @@ def run_cluster_async(
 
     async def _main() -> ClusterReport:
         service = AsyncClusterService(
-            config, unit=unit, default_link_policy=default_link_policy
+            config,
+            unit=unit,
+            default_link_policy=default_link_policy,
+            metrics=metrics,
+            events=events,
         )
         await service.start(workload=transactions)
         await service.wait_all_completed(budget)

@@ -58,6 +58,7 @@ class AsyncRuntime:
         unit: float = DEFAULT_UNIT_SECONDS,
         seed: int = 0,
         transport: Optional[LocalTransport] = None,
+        metrics: Optional[Any] = None,
     ):
         if n < 2:
             raise ConfigurationError(f"need at least 2 processes, got n={n}")
@@ -69,6 +70,9 @@ class AsyncRuntime:
         self.f = f
         self.unit = unit
         self.seed = seed
+        #: optional duck-typed telemetry sink (``inc``/``observe``), handed in
+        #: by the hosting service — this module never imports the obs package
+        self.metrics = metrics
         self.transport = transport or LocalTransport(unit=unit, seed=seed)
         self.envs: Dict[int, AsyncEnv] = {
             pid: AsyncEnv(self, pid) for pid in range(1, n + 1)
@@ -162,6 +166,10 @@ class AsyncRuntime:
         key = (pid, name)
         generation = self._timer_generation.get(key, 0) + 1
         self._timer_generation[key] = generation
+        if self.metrics is not None:
+            self.metrics.inc(
+                "runtime.timer_set" if generation == 1 else "runtime.timer_rearm"
+            )
         delay_units = max(0.0, at_units - self.now_units())
         task = asyncio.get_running_loop().create_task(
             self._fire_timer(pid, name, generation, delay_units * self.unit)
@@ -173,6 +181,8 @@ class AsyncRuntime:
         key = (pid, name)
         if key in self._timer_generation:
             self._timer_generation[key] += 1
+            if self.metrics is not None:
+                self.metrics.inc("runtime.timer_cancel")
 
     async def _fire_timer(
         self, pid: int, name: str, generation: int, delay_seconds: float

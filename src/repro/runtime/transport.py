@@ -78,13 +78,25 @@ class LinkPolicy:
 
 
 class LocalTransport:
-    """In-process asyncio links between the runtime's nodes."""
+    """In-process asyncio links between the runtime's nodes.
 
-    def __init__(self, unit: float, seed: int = 0):
+    ``metrics`` is an optional duck-typed telemetry sink — any object with
+    ``inc(name, amount=1)`` and ``observe(name, value)`` (e.g. a
+    :class:`repro.obs.metrics.MetricsRegistry`, handed in by the hosting
+    service; this module never imports the obs package).  When present, the
+    data path mirrors its counters into ``transport.sends`` /
+    ``transport.drops`` / ``transport.outage_drops`` / ``transport.delayed``
+    and feeds applied per-message link delays (in units of U) into the
+    ``transport.link_delay_units`` histogram.  Strictly out of band: the
+    mirrored counts duplicate the attributes below, never replace them.
+    """
+
+    def __init__(self, unit: float, seed: int = 0, metrics: Optional[Any] = None):
         if unit <= 0:
             raise ConfigurationError(f"unit must be positive, got {unit}")
         self.unit = unit
         self.seed = seed
+        self.metrics = metrics
         self._rng = random.Random(seed)
         self._queues: Dict[int, asyncio.Queue] = {}
         self._policies: Dict[Tuple[int, int], LinkPolicy] = {}
@@ -151,6 +163,8 @@ class LocalTransport:
             self.messages_by_module[module] = (
                 self.messages_by_module.get(module, 0) + 1
             )
+            if self.metrics is not None:
+                self.metrics.inc("transport.sends")
         if src in self._crashed or dst in self._crashed:
             return
         item = ("deliver", src, payload)
@@ -164,9 +178,14 @@ class LocalTransport:
             if any(start <= now < end for start, end in policy.outages):
                 self.dropped += 1
                 self.outage_dropped += 1
+                if self.metrics is not None:
+                    self.metrics.inc("transport.drops")
+                    self.metrics.inc("transport.outage_drops")
                 return
         if policy.drop_probability > 0 and self._rng.random() < policy.drop_probability:
             self.dropped += 1
+            if self.metrics is not None:
+                self.metrics.inc("transport.drops")
             return
         delay_units = policy.delay_units
         if policy.jitter_units > 0:
@@ -176,6 +195,9 @@ class LocalTransport:
             self._queues[dst].put_nowait(item)
             return
         self.delayed += 1
+        if self.metrics is not None:
+            self.metrics.inc("transport.delayed")
+            self.metrics.observe("transport.link_delay_units", delay_units)
         task = asyncio.get_running_loop().create_task(
             self._deliver_later(dst, item, delay_units * self.unit)
         )

@@ -129,7 +129,8 @@ class TestEngine:
         ids = [r.rule_id for r in rules]
         assert len(ids) == len(set(ids))
         assert set(ids) == {
-            "DET001", "DET002", "DET003", "FP001", "FP002", "FP003", "SP001",
+            "DET001", "DET002", "DET003", "FP001", "FP002", "FP003",
+            "OBS001", "SP001",
         }
         for rule in rules:
             assert rule.kinds and all(
@@ -192,6 +193,86 @@ class TestScopeExemptions:
         scoped = {r.rule_id: r for r in default_rules()}
         assert scoped["DET002"].applies_to(ctx)
 
+    def test_det002_scoped_out_of_the_obs_package(self):
+        # load-bearing like the runtime exemption: the obs reporters really
+        # read the wall clock, and DET002 really stays silent about it
+        progress_py = REPO_ROOT / "src" / "repro" / "obs" / "progress.py"
+        assert "time.monotonic()" in progress_py.read_text(encoding="utf-8")
+        report = lint_file(progress_py, root=REPO_ROOT)
+        assert locations(report, "DET002") == []
+
+
+# --------------------------------------------------------------------------- #
+# OBS001: observability stays out of the deterministic layers
+# --------------------------------------------------------------------------- #
+class TestObsIsolation:
+    def _lint_under(self, tmp_path, relpath: str, source: str):
+        """Lint ``source`` as if it lived at ``relpath`` in a repo tree."""
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        return lint_file(path, root=tmp_path)
+
+    def test_obs_import_in_sim_fires(self, tmp_path):
+        report = self._lint_under(
+            tmp_path,
+            "src/repro/sim/bad.py",
+            "import repro.obs\n",
+        )
+        assert locations(report, "OBS001") == [("OBS001", 1)]
+
+    def test_obs_from_import_in_protocols_fires(self, tmp_path):
+        report = self._lint_under(
+            tmp_path,
+            "src/repro/protocols/bad.py",
+            "from repro.obs.metrics import MetricsRegistry\n",
+        )
+        assert locations(report, "OBS001") == [("OBS001", 1)]
+        assert "duck-typed" in report.findings[0].message
+
+    def test_obs_subpackage_alias_in_db_fires(self, tmp_path):
+        report = self._lint_under(
+            tmp_path,
+            "src/repro/db/bad.py",
+            "from repro import obs\n",
+        )
+        assert locations(report, "OBS001") == [("OBS001", 1)]
+
+    def test_results_and_spec_modules_are_protected(self, tmp_path):
+        for relpath in ("src/repro/exp/results.py", "src/repro/exp/spec.py"):
+            report = self._lint_under(
+                tmp_path, relpath, "from repro.obs import MetricsRegistry\n"
+            )
+            assert locations(report, "OBS001") == [("OBS001", 1)], relpath
+
+    def test_sanctioned_layers_may_import_obs(self, tmp_path):
+        # the engine's lazy hooks, the analysis layer, and obs itself
+        for relpath in (
+            "src/repro/exp/engine.py",
+            "src/repro/analysis/report.py",
+            "src/repro/obs/progress.py",
+        ):
+            report = self._lint_under(
+                tmp_path, relpath, "from repro.obs.progress import resolve_progress\n"
+            )
+            assert locations(report, "OBS001") == [], relpath
+
+    def test_non_obs_imports_never_fire(self, tmp_path):
+        report = self._lint_under(
+            tmp_path,
+            "src/repro/sim/fine.py",
+            "import repro.observability_notes\nfrom repro import errors\n",
+        )
+        assert locations(report, "OBS001") == []
+
+    def test_live_deterministic_tree_is_obs_free(self):
+        # both directions pinned: the rule exists AND the real tree obeys it
+        from repro.lint.rules.obs_isolation import PROTECTED_PREFIXES
+
+        report = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert locations(report, "OBS001") == []
+        assert any(p.startswith("src/repro/db") for p in PROTECTED_PREFIXES)
+
 
 class TestCli:
     def test_cli_exit_zero_on_clean_tree(self, monkeypatch, capsys):
@@ -216,7 +297,10 @@ class TestCli:
     def test_cli_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DET001", "DET002", "DET003", "FP001", "FP002", "FP003", "SP001"):
+        for rule_id in (
+            "DET001", "DET002", "DET003", "FP001", "FP002", "FP003",
+            "OBS001", "SP001",
+        ):
             assert rule_id in out
 
 

@@ -1,0 +1,112 @@
+"""Tests for :mod:`repro.obs.events` — the event bus and its pluggable sinks."""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Event,
+    EventBus,
+    JsonlSink,
+    MemorySink,
+    SinkSpec,
+    StderrSink,
+    read_jsonl,
+)
+from repro.obs.events import SINK_KINDS
+
+
+class TestEvent:
+    def test_to_jsonable_sorts_fields_after_header(self):
+        event = Event(name="x", wall_time=1.5, fields={"b": 2, "a": 1})
+        record = event.to_jsonable()
+        assert list(record) == ["event", "wall_time", "a", "b"]
+        assert record["event"] == "x"
+
+
+class TestSinks:
+    def test_memory_sink_collects_in_order(self):
+        sink = MemorySink()
+        bus = EventBus([sink])
+        bus.emit("first", k=1)
+        bus.emit("second")
+        assert sink.names() == ["first", "second"]
+        assert sink.events[0].fields == {"k": 1}
+        assert bus.emitted == 2
+
+    def test_stderr_sink_writes_compact_lines(self):
+        stream = io.StringIO()
+        sink = StderrSink(stream=stream)
+        EventBus([sink]).emit("cluster.crash", pid=2, at_units=3.5)
+        line = stream.getvalue()
+        assert line.startswith("[obs] cluster.crash ")
+        assert "at_units=3.5" in line and "pid=2" in line
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path)
+        bus = EventBus([sink])
+        bus.emit("a", n=1)
+        bus.emit("b", n=2, tag="x")
+        bus.close()
+        records = read_jsonl(path)
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert records[1]["tag"] == "x"
+        assert all("wall_time" in r for r in records)
+        # each line is sorted-keys JSON (stable bytes for identical events)
+        with open(path) as handle:
+            first = handle.readline()
+        assert first == json.dumps(json.loads(first), sort_keys=True) + "\n"
+
+    def test_jsonl_sink_appends(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        for n in range(2):
+            sink = JsonlSink(path)
+            sink.emit(Event(name=f"run{n}", wall_time=0.0))
+            sink.close()
+        assert [r["event"] for r in read_jsonl(path)] == ["run0", "run1"]
+
+    def test_bus_fans_out_to_every_sink(self):
+        a, b = MemorySink(), MemorySink()
+        bus = EventBus([a])
+        bus.add_sink(b)
+        bus.emit("x")
+        assert a.names() == b.names() == ["x"]
+
+
+class TestSinkSpec:
+    def test_kinds_cover_the_catalogue(self):
+        assert SINK_KINDS == ("memory", "stderr", "jsonl")
+
+    def test_build_each_kind(self, tmp_path):
+        assert isinstance(SinkSpec(kind="memory").build(), MemorySink)
+        assert isinstance(SinkSpec(kind="stderr").build(), StderrSink)
+        jsonl = SinkSpec(kind="jsonl", path=str(tmp_path / "e.jsonl")).build()
+        try:
+            assert isinstance(jsonl, JsonlSink)
+        finally:
+            jsonl.close()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError) as err:
+            SinkSpec(kind="syslog")
+        assert "syslog" in str(err.value)
+
+    def test_jsonl_without_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SinkSpec(kind="jsonl")
+
+    def test_spec_is_picklable_and_builds_after_the_trip(self, tmp_path):
+        """The spawn-safety contract: config crosses the boundary, not handles."""
+        spec = SinkSpec(kind="jsonl", path=str(tmp_path / "e.jsonl"))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        sink = clone.build()
+        sink.emit(Event(name="after-pickle", wall_time=0.0))
+        sink.close()
+        assert read_jsonl(clone.path)[0]["event"] == "after-pickle"

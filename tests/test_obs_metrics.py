@@ -1,0 +1,167 @@
+"""Tests for :mod:`repro.obs.metrics` — mergeable counters/gauges/histograms.
+
+The contract mirrors :meth:`repro.exp.results.CellAccumulator.merge`: a
+snapshot merge must be exact, order-independent, and produce byte-identical
+JSON regardless of how the observations were split across registries.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+from repro.obs import MetricsRegistry, MetricsSnapshot
+from repro.obs.metrics import Histogram
+
+
+class TestInstruments:
+    def test_counter_inc_and_default(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("absent") == 0
+        registry.inc("sends")
+        registry.inc("sends", 4)
+        assert registry.counter_value("sends") == 5
+
+    def test_gauge_last_write_wins_locally(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 7)
+        registry.set_gauge("depth", 3)
+        assert registry.snapshot().gauges["depth"] == 3.0
+
+    def test_unset_gauge_is_absent_from_snapshot(self):
+        registry = MetricsRegistry()
+        registry.gauge("never_set")
+        assert "never_set" not in registry.snapshot().gauges
+
+    def test_histogram_digest_is_exact(self):
+        histogram = Histogram()
+        for value in (3.0, 1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.counts == {1.0: 1, 2.0: 1, 3.0: 2}
+        assert histogram.total == 4
+        assert histogram.sum() == 9.0
+        assert histogram.mean() == 2.25
+        assert histogram.percentile(50) == 2.0
+        assert histogram.percentile(99) == 3.0
+
+    def test_empty_histogram_summaries_are_none(self):
+        histogram = Histogram()
+        assert histogram.mean() is None
+        assert histogram.percentile(50) is None
+
+    def test_names_lists_every_instrument_sorted(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 1.0)
+        registry.inc("sends")
+        registry.set_gauge("depth", 2)
+        assert registry.names() == [
+            ("counter", "sends"),
+            ("gauge", "depth"),
+            ("histogram", "latency"),
+        ]
+
+
+def _observe_all(registry: MetricsRegistry, observations) -> None:
+    for kind, name, value in observations:
+        if kind == "counter":
+            registry.inc(name, value)
+        elif kind == "gauge":
+            registry.set_gauge(name, value)
+        else:
+            registry.observe(name, value)
+
+
+OBSERVATIONS = [
+    ("counter", "sends", 3),
+    ("histogram", "delay", 1.5),
+    ("gauge", "depth", 4),
+    ("histogram", "delay", 0.5),
+    ("counter", "drops", 1),
+    ("histogram", "delay", 1.5),
+    ("gauge", "depth", 2),
+    ("counter", "sends", 2),
+]
+
+
+class TestSnapshotMerge:
+    def test_split_merge_equals_single_registry(self):
+        """Any split of the observation stream folds to the same bytes."""
+        whole = MetricsRegistry()
+        _observe_all(whole, OBSERVATIONS)
+        expected = json.dumps(whole.snapshot().to_jsonable(), sort_keys=True)
+
+        for split in range(len(OBSERVATIONS) + 1):
+            left, right = MetricsRegistry(), MetricsRegistry()
+            _observe_all(left, OBSERVATIONS[:split])
+            _observe_all(right, OBSERVATIONS[split:])
+            merged = left.snapshot()
+            merged.merge(right.snapshot())
+            got = json.dumps(merged.to_jsonable(), sort_keys=True)
+            # gauges merge by max (no timestamps), so the merged gauge may
+            # exceed the single-registry last-write — compare modulo that
+            merged_dict = json.loads(got)
+            expected_dict = json.loads(expected)
+            assert merged_dict["counters"] == expected_dict["counters"]
+            assert merged_dict["histograms"] == expected_dict["histograms"]
+            assert merged_dict["gauges"]["depth"] in (2.0, 4.0)
+
+    def test_merge_is_commutative(self):
+        a1, b1 = MetricsRegistry(), MetricsRegistry()
+        _observe_all(a1, OBSERVATIONS[:4])
+        _observe_all(b1, OBSERVATIONS[4:])
+        ab = a1.snapshot()
+        ab.merge(b1.snapshot())
+        ba = b1.snapshot()
+        ba.merge(a1.snapshot())
+        assert json.dumps(ab.to_jsonable(), sort_keys=True) == json.dumps(
+            ba.to_jsonable(), sort_keys=True
+        )
+
+    def test_merge_is_associative(self):
+        thirds = [OBSERVATIONS[0:3], OBSERVATIONS[3:6], OBSERVATIONS[6:]]
+        snapshots = []
+        for part in thirds:
+            registry = MetricsRegistry()
+            _observe_all(registry, part)
+            snapshots.append(registry.snapshot())
+        left = MetricsSnapshot()
+        left.merge(snapshots[0])
+        left.merge(snapshots[1])
+        left.merge(snapshots[2])
+        bc = MetricsSnapshot()
+        bc.merge(snapshots[1])
+        bc.merge(snapshots[2])
+        right = MetricsSnapshot()
+        right.merge(snapshots[0])
+        right.merge(bc)
+        assert json.dumps(left.to_jsonable(), sort_keys=True) == json.dumps(
+            right.to_jsonable(), sort_keys=True
+        )
+
+    def test_histogram_summary_over_merged_digest(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (1.0, 2.0):
+            a.observe("delay", value)
+        for value in (2.0, 10.0):
+            b.observe("delay", value)
+        merged = a.snapshot()
+        merged.merge(b.snapshot())
+        summary = merged.histogram_summary("delay")
+        assert summary["count"] == 4.0
+        assert summary["mean"] == 3.75
+        assert summary["p50"] == 2.0
+        assert summary["p99"] == 10.0
+
+    def test_missing_histogram_summary_is_empty(self):
+        summary = MetricsSnapshot().histogram_summary("absent")
+        assert summary == {"count": 0.0, "mean": None, "p50": None, "p99": None}
+
+    def test_snapshot_is_picklable_and_json_safe(self):
+        registry = MetricsRegistry()
+        _observe_all(registry, OBSERVATIONS)
+        snapshot = registry.snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone == snapshot
+        # to_jsonable must survive a strict JSON round trip
+        round_tripped = json.loads(json.dumps(snapshot.to_jsonable(), sort_keys=True))
+        assert round_tripped["counters"] == {"drops": 1, "sends": 5}

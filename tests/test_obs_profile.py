@@ -1,0 +1,87 @@
+"""Tests for :mod:`repro.obs.profile` — the opt-in cProfile sweep wrapper."""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.obs import profile
+
+
+def _burn():
+    return sum(i * i for i in range(2000))
+
+
+class TestEnvironmentGate:
+    @pytest.mark.parametrize("value", ["1", "yes", "true", "on"])
+    def test_truthy_values_enable(self, value):
+        assert profile.is_enabled({profile.ENV_FLAG: value}) is True
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "False"])
+    def test_falsey_values_disable(self, value):
+        assert profile.is_enabled({profile.ENV_FLAG: value}) is False
+
+    def test_unset_disables(self):
+        assert profile.is_enabled({}) is False
+
+    def test_profile_dir_override(self):
+        assert profile.profile_dir({}) == profile.DEFAULT_DIR
+        assert profile.profile_dir({profile.ENV_DIR: "/tmp/x"}) == "/tmp/x"
+
+
+class TestProfiledContext:
+    def test_dump_lands_in_the_directory(self, tmp_path):
+        directory = str(tmp_path / "prof")
+        with profile.profiled("chunk0001", directory=directory):
+            _burn()
+        (path,) = glob.glob(os.path.join(directory, "*.prof"))
+        name = os.path.basename(path)
+        assert name.startswith("chunk0001-")
+        assert name.endswith(".prof")
+        assert str(os.getpid()) in name
+
+    def test_sequence_numbers_avoid_collisions(self, tmp_path):
+        directory = str(tmp_path / "prof")
+        for _ in range(2):
+            with profile.profiled("serial", directory=directory):
+                _burn()
+        assert len(glob.glob(os.path.join(directory, "*.prof"))) == 2
+
+    def test_dump_happens_even_when_the_block_raises(self, tmp_path):
+        directory = str(tmp_path / "prof")
+        with pytest.raises(RuntimeError):
+            with profile.profiled("boom", directory=directory):
+                raise RuntimeError("work failed")
+        assert glob.glob(os.path.join(directory, "*.prof"))
+
+
+class TestFoldAndReport:
+    def test_fold_merges_every_dump(self, tmp_path):
+        directory = str(tmp_path / "prof")
+        for _ in range(3):
+            with profile.profiled("chunk", directory=directory):
+                _burn()
+        stats = profile.fold_profiles(directory)
+        assert stats is not None
+        report = profile.render_report(stats, sort="cumulative", limit=5)
+        assert "_burn" in report
+        assert "cumulative" in report
+
+    def test_fold_of_empty_directory_is_none(self, tmp_path):
+        assert profile.fold_profiles(str(tmp_path)) is None
+
+
+class TestCli:
+    def test_report_over_a_directory(self, tmp_path, capsys):
+        directory = str(tmp_path / "prof")
+        with profile.profiled("chunk", directory=directory):
+            _burn()
+        assert profile.main([directory, "--sort", "tottime", "--limit", "5"]) == 0
+        assert "tottime" in capsys.readouterr().out
+
+    def test_no_dumps_is_a_loud_nonzero_exit(self, tmp_path, capsys):
+        assert profile.main([str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert profile.ENV_FLAG in err

@@ -1,0 +1,201 @@
+"""Tests for live sweep progress: ``run_sweep(progress=...)`` end to end.
+
+The engine emits count-only :class:`~repro.obs.ProgressEvent` records from
+the parent process; reporters add timing on their own clock.  These tests
+drive every engine path (serial/pooled x per-trial/chunked folds) through a
+collecting callback and check the stream's shape, then exercise each bundled
+reporter and the string forms ``resolve_progress`` accepts.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp import GridSpec, run_sweep
+from repro.obs import (
+    CollectingProgress,
+    JsonlProgressReporter,
+    MetricsProgressReporter,
+    ProgressEvent,
+    TTYProgressReporter,
+    read_jsonl,
+    resolve_progress,
+)
+from repro.obs.progress import PROGRESS_PHASES
+
+
+def small_grid(trials: int = 8) -> GridSpec:
+    return GridSpec(protocols=["2PC"], systems=[(4, 1)], seeds=list(range(trials)))
+
+
+def make_event(phase="chunk", done=4, total=8, **overrides):
+    base = dict(
+        phase=phase,
+        trials_total=total,
+        trials_done=done,
+        chunks_total=total,
+        chunks_done=done,
+        queue_depth=total - done,
+        workers=1,
+        mode="serial",
+        fold="trial",
+    )
+    base.update(overrides)
+    return ProgressEvent(**base)
+
+
+def assert_well_formed_stream(events, trials_total: int):
+    """The shape every engine path must produce."""
+    assert events, "no progress events emitted"
+    assert events[0].phase == "start"
+    assert events[-1].phase == "summary"
+    assert all(e.phase == "chunk" for e in events[1:-1])
+    assert all(e.phase in PROGRESS_PHASES for e in events)
+    assert all(e.trials_total == trials_total for e in events)
+    done = [e.trials_done for e in events]
+    assert done == sorted(done), "trials_done must be non-decreasing"
+    assert events[-1].trials_done == trials_total
+    assert events[-1].chunks_done == events[-1].chunks_total
+    assert all(e.queue_depth == e.chunks_total - e.chunks_done for e in events)
+    assert abs(events[-1].fraction_done - 1.0) < 1e-12
+
+
+class TestProgressEvent:
+    def test_fraction_done(self):
+        assert make_event(done=2, total=8).fraction_done == 0.25
+        assert make_event(done=0, total=0).fraction_done == 1.0
+
+    def test_picklable_and_frozen(self):
+        event = make_event()
+        assert pickle.loads(pickle.dumps(event)) == event
+        with pytest.raises(AttributeError):
+            event.trials_done = 99
+
+
+class TestEngineEmission:
+    def test_serial_full_mode_emits_per_trial(self):
+        progress = CollectingProgress()
+        result = run_sweep(small_grid(), workers=1, progress=progress)
+        assert result is not None
+        assert_well_formed_stream(progress.events, 8)
+        assert progress.events[-1].mode == "serial"
+        assert progress.events[-1].fold == "trial"
+        assert len(progress.events) == 8 + 2  # start + one per trial + summary
+
+    def test_serial_aggregate_chunk_fold(self):
+        progress = CollectingProgress()
+        agg = run_sweep(
+            small_grid(), workers=1, mode="aggregate", fold="chunk",
+            progress=progress,
+        )
+        assert agg.error_count == 0
+        assert_well_formed_stream(progress.events, 8)
+        # a serial run has no worker chunks: the engine normalises the fold
+        # to per-trial, and the progress stream reports what actually ran
+        assert progress.events[-1].fold == agg.meta["fold"] == "trial"
+
+    def test_parallel_aggregate_chunk_fold(self):
+        progress = CollectingProgress()
+        agg = run_sweep(
+            small_grid(), workers=2, mode="aggregate", fold="chunk",
+            progress=progress,
+        )
+        if agg.meta["mode"] != "parallel":
+            pytest.skip("fork start method unavailable; parallel path not exercised")
+        assert_well_formed_stream(progress.events, 8)
+        assert progress.events[-1].mode == "parallel"
+        assert progress.events[-1].workers == 2
+        assert progress.events[-1].fold == "chunk"
+
+    def test_parallel_per_trial_fold(self):
+        progress = CollectingProgress()
+        agg = run_sweep(
+            small_grid(), workers=2, mode="aggregate", fold="trial",
+            progress=progress,
+        )
+        if agg.meta["mode"] != "parallel":
+            pytest.skip("fork start method unavailable; parallel path not exercised")
+        assert_well_formed_stream(progress.events, 8)
+        assert progress.events[-1].fold == "trial"
+
+    def test_progress_left_none_emits_nothing_and_meta_is_unchanged(self):
+        without = run_sweep(small_grid(), workers=1, mode="aggregate", fold="chunk")
+        progress = CollectingProgress()
+        with_progress = run_sweep(
+            small_grid(), workers=1, mode="aggregate", fold="chunk",
+            progress=progress,
+        )
+        # progress is pure observation: the result's meta carries no trace of it
+        assert with_progress.meta == without.meta
+
+
+class TestReporters:
+    def test_tty_reporter_rewrites_one_line(self):
+        stream = io.StringIO()
+        reporter = TTYProgressReporter(stream=stream)
+        reporter(make_event(phase="start", done=0))
+        reporter(make_event(done=4))
+        reporter(make_event(phase="summary", done=8))
+        output = stream.getvalue()
+        assert "8/8 trials" in output
+        assert "100.0%" in output
+        assert output.endswith("\n")  # the summary line is terminal
+        assert output.count("\n") == 1  # everything before it was \r-rewritten
+
+    def test_jsonl_reporter_file_contents(self, tmp_path):
+        path = str(tmp_path / "progress.jsonl")
+        progress = JsonlProgressReporter(path)
+        run_sweep(small_grid(), workers=1, mode="aggregate", fold="chunk",
+                  progress=progress)
+        records = read_jsonl(path)
+        assert [r["phase"] for r in records] == ["start"] + ["chunk"] * 8 + ["summary"]
+        assert all(r["event"] == "sweep.progress" for r in records)
+        summary = records[-1]
+        assert summary["trials_done"] == summary["trials_total"] == 8
+        assert summary["elapsed_s"] >= 0.0
+        assert summary["trials_per_s"] is None or summary["trials_per_s"] > 0
+
+    def test_metrics_reporter_counts(self):
+        reporter = MetricsProgressReporter()
+        run_sweep(small_grid(), workers=1, mode="aggregate", fold="chunk",
+                  progress=reporter)
+        registry = reporter.registry
+        assert registry.counter_value("sweep.runs") == 1
+        assert registry.counter_value("sweep.runs_completed") == 1
+        assert registry.counter_value("sweep.chunks_done") == 8
+        snapshot = registry.snapshot()
+        assert snapshot.gauges["sweep.trials_done"] == 8.0
+        assert snapshot.gauges["sweep.queue_depth"] == 0.0
+
+
+class TestResolveProgress:
+    def test_none_and_callables_pass_through(self):
+        assert resolve_progress(None) is None
+        sentinel = CollectingProgress()
+        assert resolve_progress(sentinel) is sentinel
+
+    def test_tty_string(self):
+        assert isinstance(resolve_progress("tty"), TTYProgressReporter)
+
+    def test_jsonl_string(self, tmp_path):
+        path = str(tmp_path / "p.jsonl")
+        reporter = resolve_progress(f"jsonl:{path}")
+        assert isinstance(reporter, JsonlProgressReporter)
+        assert reporter.path == path
+        reporter.close()
+
+    def test_engine_accepts_the_string_form(self, tmp_path):
+        path = str(tmp_path / "p.jsonl")
+        run_sweep(small_grid(4), workers=1, mode="aggregate", fold="chunk",
+                  progress=f"jsonl:{path}")
+        assert [r["phase"] for r in read_jsonl(path)][0] == "start"
+
+    @pytest.mark.parametrize("bad", ["", "jsonl:", "carrier-pigeon", 7])
+    def test_invalid_forms_are_loud(self, bad):
+        with pytest.raises(ConfigurationError) as err:
+            resolve_progress(bad)
+        assert repr(bad) in str(err.value)

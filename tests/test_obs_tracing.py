@@ -1,0 +1,176 @@
+"""Tests for transaction span tracing and the Chrome trace-event export.
+
+The golden (``tests/goldens/trace_2pc_sim.json``) pins the byte-exact export
+of the default fixed-seed simulator run: tracing is observability, but under
+the simulator it inherits full determinism — same seed, same bytes.  Under
+the asyncio backend the span *structure* (every committed transaction
+carries EXEC / PREPARE-vote / decision / DONE) is the invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import CHROME_US_PER_UNIT, Span, TXN_PHASES, TraceContext
+from repro.obs.export import main as export_main
+from repro.obs.export import traced_cluster_run
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "goldens", "trace_2pc_sim.json")
+
+
+class TestTraceContext:
+    def test_begin_end_pairs(self):
+        tracer = TraceContext()
+        tracer.begin(1, "tx-0", "txn", 2.0, attempt=1)
+        assert tracer.open_count() == 1
+        tracer.end(1, "tx-0", "txn", 9.0, decision="COMMIT")
+        assert tracer.open_count() == 0
+        (span,) = tracer.spans
+        assert (span.start, span.end, span.duration) == (2.0, 9.0, 7.0)
+        assert span.args == {"attempt": 1, "decision": "COMMIT"}
+
+    def test_unmatched_end_is_dropped(self):
+        tracer = TraceContext()
+        tracer.end(1, "tx-0", "txn", 5.0)
+        assert tracer.spans == []
+
+    def test_end_never_precedes_start(self):
+        tracer = TraceContext()
+        tracer.begin(1, "tx-0", "txn", 5.0)
+        tracer.end(1, "tx-0", "txn", 3.0)  # clock went backwards? clamp
+        tracer.complete(2, "tx-0", "EXEC", 7.0, 6.0)
+        assert all(span.duration == 0.0 for span in tracer.spans)
+
+    def test_re_begin_restarts_the_open_span(self):
+        tracer = TraceContext()
+        tracer.begin(1, "tx-0", "txn", 1.0, attempt=1)
+        tracer.begin(1, "tx-0", "txn", 4.0, attempt=2)  # retry path
+        tracer.end(1, "tx-0", "txn", 6.0)
+        (span,) = tracer.spans
+        assert span.start == 4.0 and span.args["attempt"] == 2
+
+    def test_queries(self):
+        tracer = TraceContext()
+        tracer.complete(1, "tx-1", "EXEC", 0.0, 1.0)
+        tracer.complete(2, "tx-0", "PREPARE-vote", 1.0, 2.0)
+        tracer.complete(2, "tx-1", "PREPARE-vote", 1.0, 2.0)
+        tracer.complete(1, "tx-1", "EXEC", 3.0, 4.0)  # retry: same phase twice
+        assert tracer.transaction_ids() == ["tx-1", "tx-0"]
+        assert tracer.phases_of("tx-1") == ["EXEC", "PREPARE-vote"]
+        assert len(tracer.spans_of("tx-1")) == 3
+
+    def test_span_jsonable_sorts_args(self):
+        span = Span(name="EXEC", txn_id="tx-0", pid=1, start=0.0, end=1.0,
+                    args={"b": 2, "a": 1})
+        assert list(span.to_jsonable()["args"]) == ["a", "b"]
+
+
+class TestChromeExport:
+    def _tracer(self):
+        tracer = TraceContext()
+        tracer.complete(2, "tx-1", "PREPARE-vote", 1.0, 2.5, vote=1)
+        tracer.complete(1, "tx-0", "EXEC", 0.0, 1.0)
+        tracer.complete(1, "tx-1", "EXEC", 0.5, 1.0)
+        return tracer
+
+    def test_layout_processes_and_lanes(self):
+        chrome = self._tracer().to_chrome()
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        spans = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        assert [m["pid"] for m in meta] == [1, 2]
+        assert [m["args"]["name"] for m in meta] == ["P1", "P2"]
+        # lanes numbered by first appearance in start order: tx-0 starts first
+        lanes = {e["args"]["txn_id"]: e["tid"] for e in spans}
+        assert lanes == {"tx-0": 1, "tx-1": 2}
+        # one unit of U renders as 1 ms (1000 us)
+        prepare = next(e for e in spans if e["name"] == "PREPARE-vote")
+        assert prepare["ts"] == 1.0 * CHROME_US_PER_UNIT
+        assert prepare["dur"] == 1.5 * CHROME_US_PER_UNIT
+        assert prepare["args"]["vote"] == 1
+
+    def test_chrome_json_is_loadable_and_stable(self):
+        first = self._tracer().chrome_json()
+        second = self._tracer().chrome_json()
+        assert first == second
+        payload = json.loads(first)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["us_per_unit"] == CHROME_US_PER_UNIT
+
+
+class TestTracedSimRun:
+    def test_every_committed_txn_has_all_phases(self):
+        report, tracer = traced_cluster_run()
+        assert report.committed == len(report.outcomes) == 4
+        assert tracer.open_count() == 0
+        for txn_id in tracer.transaction_ids():
+            phases = tracer.phases_of(txn_id)
+            for phase in TXN_PHASES:
+                assert phase in phases, (txn_id, phases)
+            assert "txn" in phases  # the submission-to-ack envelope
+
+    def test_fixed_seed_export_matches_the_golden(self):
+        """Same seed, same bytes — the tracing determinism pin.
+
+        Regenerate after an intentional trace-shape change with::
+
+            PYTHONPATH=src python -c "from repro.obs.export import *; \
+r, t = traced_cluster_run(); write_chrome(t, 'tests/goldens/trace_2pc_sim.json')"
+        """
+        _, tracer = traced_cluster_run()
+        with open(GOLDEN, encoding="utf-8") as handle:
+            golden = handle.read()
+        assert tracer.chrome_json() + "\n" == golden
+
+    def test_tracer_attachment_does_not_change_the_report(self):
+        traced_report, _ = traced_cluster_run(seed=11)
+        from repro.db.cluster import ClusterConfig, run_cluster
+        from repro.workloads import uniform_workload
+
+        config = ClusterConfig(
+            num_partitions=3, commit_protocol="2PC", commit_f=1, seed=11,
+            max_time=400.0,
+        )
+        workload = uniform_workload(
+            num_transactions=4, num_partitions=3, participants_per_txn=3, seed=11
+        )
+        plain_report = run_cluster(config, workload.transactions, backend="sim")
+        assert traced_report.outcomes == plain_report.outcomes
+        assert traced_report.committed == plain_report.committed
+        assert traced_report.end_time == plain_report.end_time
+
+
+@pytest.mark.runtime
+class TestTracedAsyncRun:
+    def test_asyncio_backend_traces_every_commit(self):
+        report, tracer = traced_cluster_run(backend="asyncio", txns=3, seed=3)
+        assert report.backend == "asyncio"
+        assert report.committed >= 1
+        from repro.protocols.base import COMMIT
+
+        committed = {
+            outcome.txn_id for outcome in report.outcomes
+            if outcome.decision == COMMIT
+        }
+        assert tracer.clock == "wall-units"
+        for txn_id in sorted(committed):
+            phases = tracer.phases_of(txn_id)
+            for phase in TXN_PHASES:
+                assert phase in phases, (txn_id, phases)
+
+
+class TestExportCli:
+    def test_cli_writes_trace_and_summary(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.json")
+        rc = export_main(["--chrome", out])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["backend"] == "sim"
+        assert summary["committed"] == 4
+        assert summary["transactions_traced"] == 4
+        with open(out, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert set(TXN_PHASES) <= names
