@@ -10,8 +10,10 @@ four core configurations:
 * ``full+trial`` — today's core at ``trace_level="full"`` with per-trial
   streaming folds (O(1) bookkeeping already in effect).
 * ``counters+trial`` — the counters trace level, still folding per trial.
-* ``counters+chunk`` — the aggregate-mode default: counters level plus
-  worker-side chunk folds.
+* ``counters+heap`` — the aggregate-mode configuration forced onto the
+  binary-heap event queue, isolating what the bucket queue itself buys.
+* ``counters+chunk`` — the aggregate-mode default: counters level, chunk
+  folds, and the bucket queue + batched sampling picked automatically.
 
 Every configuration must produce the *same* ``SweepAggregate`` fingerprint —
 the fast path buys speed, never different bytes — and the measured rates are
@@ -63,6 +65,9 @@ class _LegacyScheduler(Scheduler):
 
     def __init__(self, *args, **kwargs):
         kwargs["trace_level"] = "full"
+        # the pre-fast-path core had no bucket queue or batched sampling:
+        # pin the baseline to the binary heap so the comparison stays honest
+        kwargs["event_queue"] = "heap"
         super().__init__(*args, **kwargs)
 
     def post_message(self, src, dst, payload, module="main"):
@@ -126,6 +131,19 @@ class _LegacyScheduler(Scheduler):
         )
 
 
+class _HeapScheduler(Scheduler):
+    """Today's core with the bucket queue disabled (heap forced).
+
+    Differs from the default only in the event-queue choice, so comparing it
+    against ``counters+chunk`` isolates the bucket queue + batched sampling
+    contribution from the earlier bookkeeping optimisations.
+    """
+
+    def __init__(self, *args, **kwargs):
+        kwargs["event_queue"] = "heap"
+        super().__init__(*args, **kwargs)
+
+
 def grid(n: int, f: int, trials: int) -> GridSpec:
     return GridSpec(
         protocols=["INBAC"], systems=[(n, f)], seeds=range(trials), max_time=1000
@@ -169,6 +187,7 @@ VARIANTS = {
     "legacy": ("full", "trial", _LegacyScheduler),
     "full+trial": ("full", "trial", None),
     "counters+trial": ("counters", "trial", None),
+    "counters+heap": ("counters", "chunk", _HeapScheduler),
     "counters+chunk": ("counters", "chunk", None),
 }
 
@@ -176,7 +195,7 @@ VARIANTS = {
 def run_battery(configs, workers: Optional[int] = 1, repeats: int = 2) -> List[Dict]:
     """Measure every variant at every (n, f, trials) point.
 
-    Asserts, per point, that all four variants produce byte-identical
+    Asserts, per point, that all five variants produce byte-identical
     ``SweepAggregate`` fingerprints — the determinism half of the benchmark.
     """
     rows: List[Dict] = []

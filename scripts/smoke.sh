@@ -18,30 +18,34 @@
 #   7. a small sweep-throughput perf smoke: the fast-path core must emit its
 #      JSON baseline and every core configuration (legacy emulation, trace
 #      levels, fold paths) must produce identical aggregate fingerprints;
-#   8. a schedule-exploration smoke: a small adversarial budget over INBAC
+#   8. a profile-first smoke: a profiled n=200 sweep (REPRO_PROFILE=1) must
+#      dump cProfile data and `python -m repro.obs.profile` must fold it into
+#      a top-10 cumulative hot-spot report — the evidence any future perf PR
+#      starts from;
+#   9. a schedule-exploration smoke: a small adversarial budget over INBAC
 #      (zero violations within the resilience bound) and 2PC (the known
 #      coordinator-crash termination violation, shrunk to <= 5 decisions),
 #      plus a replay-determinism check of one stored ScheduleTrace;
-#   9. a cluster-exploration smoke: a tiny cluster-anomaly budget must leave
+#  10. a cluster-exploration smoke: a tiny cluster-anomaly budget must leave
 #      the cluster-invariant battery (atomicity / durability / lock safety)
 #      clean for a real commit protocol, while the deliberately broken
 #      split-brain coordinator from the test tree is caught and shrunk to a
 #      1-minimal counterexample;
-#  10. the determinism & spawn-safety static-analysis pass (python -m
+#  11. the determinism & spawn-safety static-analysis pass (python -m
 #      repro.lint) must exit 0 over src/benchmarks/tests, and the runtime
 #      determinism sanitizer must run the reference sweep clean plus the
 #      cross-PYTHONHASHSEED fingerprint diff (see docs/determinism.md);
-#  11. a bounded runtime round-trip: every registered commit protocol must
+#  12. a bounded runtime round-trip: every registered commit protocol must
 #      commit one real transaction over the asyncio transport (repro.runtime,
 #      wall clock, hard timeout), and the packaging discovery must ship every
 #      subpackage (import repro.runtime from an emulated installed layout);
-#  12. a crash-recovery smoke: kill one partition mid-run and rejoin it from
+#  13. a crash-recovery smoke: kill one partition mid-run and rejoin it from
 #      its write-ahead log on BOTH backends (sim via FaultPlan.crash_recover,
 #      asyncio via the live service), asserting the rejoined run still
 #      commits with the invariant battery clean, plus the policy check that
 #      the lint scope table exempts DET002 only under src/repro/runtime/ and
 #      src/repro/obs/;
-#  13. an observability smoke: a sweep streamed through a jsonl progress
+#  14. an observability smoke: a sweep streamed through a jsonl progress
 #      reporter must fingerprint-match the unobserved run and emit a
 #      well-formed event stream, the Chrome trace export must carry every
 #      commit phase, and scripts/bench_report.py must fold every BENCH_*.json
@@ -51,10 +55,10 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "==> [1/13] tier-1 tests (pytest from the repo root)"
+echo "==> [1/14] tier-1 tests (pytest from the repo root)"
 python -m pytest -x -q
 
-echo "==> [2/13] benchmark collection (must be > 0 tests)"
+echo "==> [2/14] benchmark collection (must be > 0 tests)"
 collected=$(python -m pytest benchmarks --collect-only -q 2>/dev/null | grep -c '::' || true)
 if [ "${collected}" -eq 0 ]; then
     echo "ERROR: 'pytest benchmarks' collected zero tests" >&2
@@ -62,7 +66,7 @@ if [ "${collected}" -eq 0 ]; then
 fi
 echo "    collected ${collected} benchmark tests"
 
-echo "==> [3/13] every benchmark is ported onto repro.exp"
+echo "==> [3/14] every benchmark is ported onto repro.exp"
 for bench in benchmarks/bench_*.py; do
     if ! grep -q "from repro\.exp import" "${bench}"; then
         echo "ERROR: ${bench} does not import repro.exp (hand-rolled sweep loop?)" >&2
@@ -71,7 +75,7 @@ for bench in benchmarks/bench_*.py; do
 done
 echo "    all $(ls benchmarks/bench_*.py | wc -l | tr -d ' ') benchmarks import repro.exp"
 
-echo "==> [4/13] aggregate-mode sweep reproduces the in-memory aggregates"
+echo "==> [4/14] aggregate-mode sweep reproduces the in-memory aggregates"
 python - <<'EOF'
 from repro.exp import GridSpec, run_sweep
 
@@ -98,16 +102,16 @@ print(f"    {len(agg)} trials -> {agg.cell_count} cells, fingerprint ok "
       f"(both trace levels x both folds)")
 EOF
 
-echo "==> [5/13] one fast benchmark"
+echo "==> [5/14] one fast benchmark"
 python -m pytest benchmarks/bench_table2_delay_optimal.py -q --benchmark-disable
 
-echo "==> [6/13] examples"
+echo "==> [6/14] examples"
 for example in examples/*.py; do
     echo "--- ${example}"
     python "${example}" > /dev/null
 done
 
-echo "==> [7/13] sweep-throughput perf smoke (fast-path core baseline)"
+echo "==> [7/14] sweep-throughput perf smoke (fast-path core baseline)"
 bench_out=$(mktemp)
 python benchmarks/bench_sweep_throughput.py --quick --out "${bench_out}" > /dev/null
 python - "${bench_out}" <<'EOF'
@@ -122,14 +126,30 @@ for config in baseline["configs"]:
     # re-assert the emitted record is complete
     assert config["fingerprint"], config
     for column in ("legacy t/s", "full+trial t/s", "counters+trial t/s",
-                   "counters+chunk t/s", "speedup"):
+                   "counters+heap t/s", "counters+chunk t/s", "speedup"):
         assert config[column] > 0, (column, config)
 print(f"    baseline emitted with {len(baseline['configs'])} configs, "
       f"fingerprints identical across core variants")
 EOF
 rm -f "${bench_out}"
 
-echo "==> [8/13] schedule-exploration smoke (adversarial search + replay)"
+echo "==> [8/14] profile-first smoke (cProfile top-10 hot spots, n=200)"
+# measure before optimising: profile the heavy grid point the throughput
+# work targets and print where the cycles actually go.  REPRO_PROFILE dumps
+# one .prof per unit of work; the report folds them all.
+profile_dir=$(mktemp -d)
+REPRO_PROFILE=1 REPRO_PROFILE_DIR="${profile_dir}" python - <<'EOF'
+from repro.exp import GridSpec, run_sweep
+
+grid = GridSpec(protocols=["INBAC"], systems=[(200, 40)], seeds=range(2),
+                max_time=1000)
+agg = run_sweep(grid, workers=1, mode="aggregate")
+assert agg.error_count == 0, agg.sample_errors
+EOF
+python -m repro.obs.profile "${profile_dir}" --sort cumulative --limit 10
+rm -rf "${profile_dir}"
+
+echo "==> [9/14] schedule-exploration smoke (adversarial search + replay)"
 python - <<'EOF'
 from repro.explore import ScheduleTrace, explore, replay_trial
 from repro.exp.spec import GridSpec
@@ -163,7 +183,7 @@ print(f"    INBAC: 0 violations in {inbac.schedules_run} schedules; "
       f"{len(shrunk)} decision(s) replays deterministically")
 EOF
 
-echo "==> [9/13] cluster-exploration smoke (invariant battery + injected bug)"
+echo "==> [10/14] cluster-exploration smoke (invariant battery + injected bug)"
 python - <<'EOF'
 import sys
 sys.path.insert(0, "tests")  # the injected-bug fixture lives in the test tree
@@ -194,10 +214,10 @@ print(f"    INBAC: battery clean over {clean.schedules_run} schedules; "
       f"{len(hits[0].shrunk)} decision")
 EOF
 
-echo "==> [10/13] determinism lint + runtime sanitizer"
+echo "==> [11/14] determinism lint + runtime sanitizer"
 python -m repro.lint src benchmarks tests --sanitize
 
-echo "==> [11/13] runtime round-trip (asyncio transport, hard timeout)"
+echo "==> [12/14] runtime round-trip (asyncio transport, hard timeout)"
 python - <<'EOF2'
 import signal
 
@@ -231,7 +251,7 @@ print(f"    {len(protocol_names())} protocols committed for real over AsyncEnv")
 EOF2
 python -m pytest tests/test_packaging.py -q
 
-echo "==> [12/13] crash recovery: kill-and-rejoin one partition per backend"
+echo "==> [13/14] crash recovery: kill-and-rejoin one partition per backend"
 python - <<'EOF3'
 import signal
 
@@ -287,7 +307,7 @@ print("    both backends rejoined P2 from its WAL and kept committing; "
       "lint scope policy pinned")
 EOF3
 
-echo "==> [13/13] observability: progress stream, trace export, bench report"
+echo "==> [14/14] observability: progress stream, trace export, bench report"
 obs_dir=$(mktemp -d)
 python - "${obs_dir}" <<'EOF4'
 import json

@@ -100,6 +100,7 @@ from repro.core.checker import check_nbac
 from repro.errors import ConfigurationError
 from repro.exp.results import SweepAggregate, SweepResult, TrialResult
 from repro.exp.spec import GridSpec, TrialSpec
+from repro.sim.batch import BatchedDelaySampler
 from repro.sim.runner import Simulation, SimulationResult
 from repro.sim.trace import TRACE_LEVELS
 
@@ -130,11 +131,15 @@ class _CellRuntime:
     factory) over the whole seed axis instead of rebuilding them per trial.
     """
 
-    __slots__ = ("simulation", "votes")
+    __slots__ = ("simulation", "votes", "sampler")
 
     def __init__(self, simulation: Simulation, votes: List[Any]):
         self.simulation = simulation
         self.votes = votes
+        # one delay sampler per cell: each trial rebinds it to that trial's
+        # freshly seeded delay model, reusing the pre-draw buffer across the
+        # cell instead of allocating one per trial
+        self.sampler = BatchedDelaySampler()
 
 
 #: (cell signature, runtime) of the most recently run cell, per process
@@ -212,6 +217,7 @@ def run_trial(
             fault_plan=trial.fault.factory(),
             seed=seed,
             controller=controller,
+            delay_sampler=runtime.sampler,
         )
     except Exception:
         base.error = traceback.format_exc(limit=8)
@@ -690,12 +696,18 @@ def run_trials(
         meta["start_method"] = method
 
     if not streaming:
+        # the pool ships work in imap chunks of this size; the serial path is
+        # chunk 1 (every trial is its own chunk).  chunks_total must reflect
+        # the real granularity — results arrive in bursts of `chunk`, so
+        # claiming len(trials) chunks would make queue_depth/chunks_done lie.
+        chunk = max(1, len(trials) // (n_workers * 4)) if use_pool else 1
+        n_chunks = (len(trials) + chunk - 1) // chunk
         _emit_progress(
             progress,
             "start",
             trials_total=len(trials),
             trials_done=0,
-            chunks_total=len(trials),
+            chunks_total=n_chunks,
             chunks_done=0,
             workers=meta["workers"],
             mode=exec_mode,
@@ -708,7 +720,6 @@ def run_trials(
                 initializer=_pool_init,
                 initargs=(trials, collector, levels),
             ) as pool:
-                chunk = max(1, len(trials) // (n_workers * 4))
                 if progress is None:
                     results = pool.map(_run_index, range(len(trials)), chunksize=chunk)
                 else:
@@ -720,13 +731,18 @@ def run_trials(
                         _run_index, range(len(trials)), chunksize=chunk
                     ):
                         results.append(result)
+                        done = len(results)
                         _emit_progress(
                             progress,
                             "chunk",
                             trials_total=len(trials),
-                            trials_done=len(results),
-                            chunks_total=len(trials),
-                            chunks_done=len(results),
+                            trials_done=done,
+                            chunks_total=n_chunks,
+                            # the final (possibly short) chunk completes with
+                            # the last trial; before that, count full chunks
+                            chunks_done=(
+                                n_chunks if done == len(trials) else done // chunk
+                            ),
                             workers=meta["workers"],
                             mode=exec_mode,
                             fold="trial",
@@ -745,7 +761,7 @@ def run_trials(
                         "chunk",
                         trials_total=len(trials),
                         trials_done=len(results),
-                        chunks_total=len(trials),
+                        chunks_total=n_chunks,
                         chunks_done=len(results),
                         workers=meta["workers"],
                         mode=exec_mode,
@@ -756,8 +772,8 @@ def run_trials(
             "summary",
             trials_total=len(trials),
             trials_done=len(results),
-            chunks_total=len(trials),
-            chunks_done=len(results),
+            chunks_total=n_chunks,
+            chunks_done=n_chunks if results else 0,
             workers=meta["workers"],
             mode=exec_mode,
             fold="trial",

@@ -134,6 +134,24 @@ _WALL_CLOCK_ATTRS = frozenset({"time", "time_ns", "monotonic", "monotonic_ns"})
 _DATETIME_NOW_ATTRS = frozenset({"now", "utcnow", "today"})
 #: the only attributes of the ``random`` module deterministic code may touch
 _RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+#: ``numpy.random`` attributes that construct explicitly seeded generators —
+#: everything else (``np.random.seed``, ``np.random.uniform``, ...) drives
+#: numpy's interpreter-global RandomState and is as non-deterministic across
+#: processes as bare ``random.random()``
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "RandomState",
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
 
 
 class WallClockAndGlobalRandomRule(Rule):
@@ -170,6 +188,16 @@ class WallClockAndGlobalRandomRule(Rule):
                                 f"'from time import {alias.name}' reads the wall "
                                 "clock; simulated time is the only clock here",
                             )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _NUMPY_RANDOM_ALLOWED:
+                            yield ctx.finding(
+                                self.rule_id,
+                                node,
+                                f"'from numpy.random import {alias.name}' pulls "
+                                "in numpy's interpreter-global RNG; construct a "
+                                "seeded RandomState/Generator instead",
+                            )
                 continue
             if not isinstance(node, ast.Call) or not isinstance(
                 node.func, ast.Attribute
@@ -184,6 +212,23 @@ class WallClockAndGlobalRandomRule(Rule):
                         node,
                         f"random.{func.attr}() uses the interpreter-global RNG; "
                         "thread a seeded random.Random through the call chain",
+                    )
+            elif (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in ("numpy", "np")
+            ):
+                # np.random.X(...) / numpy.random.X(...): the module-level
+                # calls share one hidden global RandomState across the whole
+                # process; only explicitly seeded constructors are allowed
+                if func.attr not in _NUMPY_RANDOM_ALLOWED:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"{base.value.id}.random.{func.attr}() uses numpy's "
+                        "interpreter-global RNG; construct a seeded "
+                        "RandomState/Generator and call methods on it",
                     )
             elif isinstance(base, ast.Name) and base.id == "time":
                 if func.attr in _WALL_CLOCK_ATTRS:

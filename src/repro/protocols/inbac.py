@@ -47,6 +47,47 @@ BRANCH_HELPED_CONS_ZERO = "helped/cons-propose-0"
 BRANCH_CONSENSUS_DECIDE = "decide-consensus-decision"
 BRANCH_FAST_ABORT = "fast-abort"
 
+# ---------------------------------------------------------------------- #
+# shared-acknowledgement analysis memo
+#
+# Every backup sends the SAME ack tuple ("C", collection) to all n
+# processes (one immutable payload object, see _phase0_timeout), so in a
+# nice execution the n receivers each analyse the identical `collection`
+# tuple object.  The memo keys by id() — valid only while the original
+# object is alive, hence the `entry[0] is collection` identity check that
+# makes a recycled id a miss, never a wrong answer — and stores
+# (collection, first_votes, covered_pids, n_pids, covers_all).  Mutable
+# collections (a sender seen twice, a merged set) are never memoised.
+# ---------------------------------------------------------------------- #
+_ACK_MEMO: Dict[int, tuple] = {}
+_ACK_MEMO_MAX = 1024
+
+
+def _ack_analysis(collection, n_pids: int, all_pids) -> tuple:
+    """Per-collection facts ``_full_backups`` needs, computed once per object.
+
+    ``first_votes`` maps each pid to its first vote in sorted pair order
+    (exactly what a ``setdefault`` sweep over ``sorted(collection)`` keeps),
+    ``covered`` is the set of backed-up pids, and ``covers_all`` is
+    ``all_pids <= covered`` for the given ``n_pids`` (re-derived on a hit
+    with a different n, which only happens across grid cells).
+    """
+    entry = _ACK_MEMO.get(id(collection))
+    if entry is not None and entry[0] is collection and entry[3] == n_pids:
+        return entry
+    first_votes: Dict[int, int] = {}
+    covered: Set[int] = set()
+    for pid, vote in sorted(collection):
+        if pid not in covered:
+            covered.add(pid)
+            first_votes[pid] = vote
+    entry = (collection, first_votes, covered, n_pids, all_pids <= covered)
+    if type(collection) is tuple:
+        if len(_ACK_MEMO) >= _ACK_MEMO_MAX:
+            _ACK_MEMO.clear()
+        _ACK_MEMO[id(collection)] = entry
+    return entry
+
 
 class INBAC(AtomicCommitProcess):
     """Indulgent NBAC, optimal at two message delays and ``2fn`` messages."""
@@ -107,36 +148,57 @@ class INBAC(AtomicCommitProcess):
         processes) must cover at least ``{P1..Pf}``.
         """
         required_partial = required_partial or set()
-        by_sender: Dict[int, Set[Tuple[int, int]]] = {}
-        for sender, collection in self.collection1:
-            by_sender.setdefault(sender, set()).update(collection)
+        # each sender's acknowledged collection is kept as the shared tuple
+        # object it travelled as — materialising a set per sender is what the
+        # _ack_analysis memo exists to avoid; only a sender seen twice (never
+        # the case on reliable channels) pays for a merged set
+        by_sender: Dict[int, Any] = {}
+        for sender, collection in sorted(self.collection1):
+            existing = by_sender.get(sender)
+            if existing is None:
+                by_sender[sender] = collection
+            else:
+                merged = set(existing)
+                merged.update(collection)
+                by_sender[sender] = merged
         for sender in required_senders:
             if sender not in by_sender:
                 return None
         # hoisted out of the sender loops: these sets are loop-invariant, and
         # once one sender has contributed every process' vote the remaining
-        # setdefault sweeps cannot add anything (backed-up pids are always
-        # drawn from 1..n, so n collected votes means full coverage)
+        # merge sweeps cannot add anything (backed-up pids are always drawn
+        # from 1..n, so n collected votes means full coverage)
         all_pids = set(self.all_pids())
         n_pids = len(all_pids)
         low_pids = set(range(1, self.f + 1))
         votes: Dict[int, int] = {}
         for sender in required_full:
-            backed_up = by_sender[sender]
-            covered = {pid for pid, _ in backed_up}
-            if not all_pids <= covered:
+            _, first_votes, _, _, covers_all = _ack_analysis(
+                by_sender[sender], n_pids, all_pids
+            )
+            if not covers_all:
                 return None
             if len(votes) < n_pids:
-                for pid, vote in sorted(backed_up):
-                    votes.setdefault(pid, vote)
+                if votes:
+                    # first_votes iterates in sorted pid order, so this
+                    # setdefault sweep keeps exactly what the original
+                    # sweep over sorted(backed_up) kept
+                    for pid, vote in first_votes.items():
+                        votes.setdefault(pid, vote)
+                else:
+                    votes.update(first_votes)
         for sender in required_partial:
-            backed_up = by_sender[sender]
-            covered = {pid for pid, _ in backed_up}
+            _, first_votes, covered, _, _ = _ack_analysis(
+                by_sender[sender], n_pids, all_pids
+            )
             if not low_pids <= covered:
                 return None
             if len(votes) < n_pids:
-                for pid, vote in sorted(backed_up):
-                    votes.setdefault(pid, vote)
+                if votes:
+                    for pid, vote in first_votes.items():
+                        votes.setdefault(pid, vote)
+                else:
+                    votes.update(first_votes)
         if not all(pid in votes for pid in all_pids):
             return None
         return votes
@@ -160,15 +222,17 @@ class INBAC(AtomicCommitProcess):
         if self.fast_abort and self.val == ABORT:
             # Section 5.2 remark: a process voting 0 may tell everyone and
             # decide immediately; receivers decide 0 on receipt.
+            abort_msg = ("V0",)  # immutable: one copy for all destinations
             for q in self.other_pids():
-                self.send(q, ("V0",))
+                self.send(q, abort_msg)
             self._record_branch(BRANCH_FAST_ABORT)
             self.decide_once(ABORT)
             # it still participates as a backup so that others terminate
+        vote_msg = ("V", self.val)  # immutable: one copy for all destinations
         for q in self.first_f():
-            self.send(q, ("V", self.val))
+            self.send(q, vote_msg)
         if 1 <= self.pid <= self.f:
-            self.send(self.f + 1, ("V", self.val))
+            self.send(self.f + 1, vote_msg)
         if 1 <= self.pid <= self.f + 1:
             self.set_timer(1)
         else:
@@ -240,10 +304,8 @@ class INBAC(AtomicCommitProcess):
             self.decide_once(logical_and(votes.values()))
             return
         if self.cnt >= 1:
-            union = set()
-            for _, c in self.collection1:
-                union.update(c)
-            all_votes = self._all_votes_from(union)
+            # collection_val above is exactly this union of collection1
+            all_votes = self._all_votes_from(collection_val)
             if all_votes is not None:
                 self._record_branch(BRANCH_CONS_AND)
                 self._cons_propose(logical_and(all_votes.values()))
@@ -254,8 +316,9 @@ class INBAC(AtomicCommitProcess):
         # no acknowledgement from any backup process: ask for more acks
         self._record_branch(BRANCH_ASK_HELP)
         self.wait = True
+        help_msg = ("HELP",)  # immutable: one copy for all destinations
         for q in self.beyond_f():
-            self.send(q, ("HELP",))
+            self.send(q, help_msg)
 
     def _maybe_finish_help(self) -> None:
         """The "wait until >= n - f messages" transition of Figure 1."""

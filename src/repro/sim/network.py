@@ -18,7 +18,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.batch import sample_uniform_batch
 
 
 class DelayModel(Protocol):
@@ -26,6 +27,18 @@ class DelayModel(Protocol):
 
     Implementations must be deterministic given their own state (seeded RNGs)
     so that simulations are reproducible.
+
+    Two optional class attributes let the scheduler pick fast paths:
+
+    * ``bucketable`` — delays are bounded and positive, so the bucket/calendar
+      event queue (:class:`~repro.sim.batch.BucketQueue`) is applicable; the
+      scheduler falls back to the binary heap otherwise.
+    * ``iid_delays`` — draws depend only on the model's own RNG (never on
+      src/dst/payload/send_time), so a :class:`~repro.sim.batch.\
+BatchedDelaySampler` may pre-draw them in batches via ``sample_batch(k)``,
+      whose k results must be byte-identical to k successive ``delay`` calls.
+
+    Both default to False for models that do not declare them.
     """
 
     def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
@@ -48,12 +61,19 @@ class FixedDelay:
 
     u: float = 1.0
 
+    #: degenerate bounded delays: bucket queue and batched sampling both apply
+    bucketable = True
+    iid_delays = True
+
     def __post_init__(self) -> None:
         if self.u <= 0:
             raise ConfigurationError(f"delay bound must be positive, got {self.u}")
 
     def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
         return self.u
+
+    def sample_batch(self, k: int) -> list:
+        return [self.u] * k
 
     def bound(self) -> float:
         return self.u
@@ -66,9 +86,20 @@ class UniformDelay:
     non-degenerate timing while remaining within the synchronous bound.
     """
 
+    #: bounded i.i.d. draws: bucket queue and batched sampling both apply
+    bucketable = True
+    iid_delays = True
+
     def __init__(self, lo: float, hi: float, u: Optional[float] = None, seed: int = 0):
-        if lo <= 0 or hi < lo:
-            raise ConfigurationError(f"invalid uniform delay range [{lo}, {hi}]")
+        if lo <= 0:
+            raise ConfigurationError(
+                f"uniform delay lower bound must be positive, got lo={lo}"
+            )
+        if hi < lo:
+            raise ConfigurationError(
+                f"uniform delay upper bound must be >= lower bound, "
+                f"got hi={hi} < lo={lo}"
+            )
         self.lo = lo
         self.hi = hi
         self.u = u if u is not None else hi
@@ -78,6 +109,9 @@ class UniformDelay:
 
     def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
         return self._rng.uniform(self.lo, self.hi)
+
+    def sample_batch(self, k: int) -> list:
+        return sample_uniform_batch(self._rng, self.lo, self.hi, k)
 
     def bound(self) -> float:
         return self.u
@@ -90,6 +124,12 @@ class LognormalDelay:
     Keidar [34] ("synchronous most of the time"): most samples are far below
     the bound, occasional samples approach it.
     """
+
+    #: clipped at u and i.i.d.; batching uses the scalar loop (CPython's
+    #: ``gauss`` consumes generator words in a pattern numpy cannot replay
+    #: bit-exactly), so only the per-call method dispatch is amortised
+    bucketable = True
+    iid_delays = True
 
     def __init__(self, median: float, sigma: float, u: float, seed: int = 0):
         if median <= 0 or sigma < 0 or u <= median:
@@ -104,6 +144,12 @@ class LognormalDelay:
     def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
         sample = self.median * math.exp(self._rng.gauss(0.0, self.sigma))
         return min(sample, self.u)
+
+    def sample_batch(self, k: int) -> list:
+        gauss = self._rng.gauss
+        exp = math.exp
+        median, sigma, u = self.median, self.sigma, self.u
+        return [min(median * exp(gauss(0.0, sigma)), u) for _ in range(k)]
 
     def bound(self) -> float:
         return self.u
@@ -128,6 +174,11 @@ class FlakyLinkDelay:
     from its transport counters.  All randomness comes from the seeded RNG,
     so the model is fingerprint-deterministic like every other delay model.
     """
+
+    #: outages push delays past u (unbounded) and draws depend on
+    #: (src, dst, send_time) (not i.i.d.): heap queue, per-message sampling
+    bucketable = False
+    iid_delays = False
 
     def __init__(
         self,
@@ -183,6 +234,11 @@ class AdversarialDelay:
     paper's proofs (e.g. ``E_async`` in Lemma 1).
     """
 
+    #: arbitrary user function: unbounded and message-dependent, so neither
+    #: the bucket queue nor batched sampling applies
+    bucketable = False
+    iid_delays = False
+
     def __init__(self, fn: Callable[[int, int, object, float], float], u: float = 1.0):
         self.fn = fn
         self.u = u
@@ -190,7 +246,9 @@ class AdversarialDelay:
     def delay(self, src: int, dst: int, payload: object, send_time: float) -> float:
         d = self.fn(src, dst, payload, send_time)
         if d <= 0:
-            raise ConfigurationError(f"adversarial delay must be positive, got {d}")
+            # a mid-run simulation fault, not a construction-time config
+            # error: TrialResult.error must classify it as such
+            raise SimulationError(f"adversarial delay must be positive, got {d}")
         return d
 
     def bound(self) -> float:
@@ -212,6 +270,10 @@ class Network:
         self.delay_model = delay_model if delay_model is not None else FixedDelay(1.0)
         #: delay overrides installed by the fault plan, consulted first
         self._overrides: list = []
+        #: optional BatchedDelaySampler bound to delay_model; when present it
+        #: replaces the per-message delay() call for the *nominal* draw (the
+        #: draws are identical bytes, just pre-drawn in batches)
+        self._sampler = None
 
     @property
     def u(self) -> float:
@@ -222,13 +284,33 @@ class Network:
         """Install :class:`~repro.sim.faults.DelayRule` overrides."""
         self._overrides = list(rules)
 
+    def attach_sampler(self, sampler) -> None:
+        """Install a bound :class:`~repro.sim.batch.BatchedDelaySampler`.
+
+        The nominal draw still happens for every non-self message — override
+        rules receive it, and RNG consumption order is what keeps batched and
+        per-message runs byte-identical — it is merely served from the
+        sampler's pre-drawn buffer.
+        """
+        self._sampler = sampler
+
     def transit_delay(
         self, src: int, dst: int, payload: object, send_time: float, msg_index: int
     ) -> float:
         """Compute the delay for a message, applying fault-plan overrides."""
-        nominal = self.delay_model.delay(src, dst, payload, send_time)
+        if self._sampler is not None:
+            nominal = self._sampler.next_delay()
+        else:
+            nominal = self.delay_model.delay(src, dst, payload, send_time)
         for rule in self._overrides:
             override = rule.apply(src, dst, payload, send_time, msg_index, nominal)
             if override is not None:
+                if override <= 0:
+                    raise SimulationError(
+                        f"fault-plan delay rule {rule!r} produced a non-positive "
+                        f"override {override} for message {src}->{dst} at "
+                        f"t={send_time}: a delay <= 0 would deliver at or before "
+                        f"its send time, corrupting event order"
+                    )
                 return override
         return nominal

@@ -31,6 +31,24 @@ the common "stop once every correct process has decided" condition is a
 decremented counter maintained by :meth:`Scheduler.record_decision`, not a
 predicate re-evaluated over every process id on every event.
 
+Event queues
+------------
+The scheduler runs on one of two queues selected by ``event_queue``:
+
+* ``"heap"`` — the reference binary heap over ``(time, priority, seq)`` keys.
+* ``"bucket"`` — a :class:`~repro.sim.batch.BucketQueue` grouping events into
+  per-timestamp priority FIFOs; exact for any delay model (see
+  ``docs/performance.md``) and much cheaper when many messages share receive
+  times, as under the bounded-delay models.
+* ``"auto"`` (default) — bucket when the delay model declares
+  ``bucketable = True`` and no schedule controller is attached (controllers
+  re-queue deferred events and inspect Event objects, which is heap
+  territory); heap otherwise.
+
+Both queues fire events in the identical strict ``(time, priority, seq)``
+order, so traces and fingerprints are byte-identical between them — pinned by
+the bucket-vs-heap equivalence battery in ``tests/test_scheduler_bucket.py``.
+
 Schedule controllers
 --------------------
 By default the scheduler fires events in strict ``(time, priority, seq)``
@@ -77,10 +95,14 @@ from repro.sim.events import (
     RecoverEvent,
     TimerEvent,
 )
+from repro.sim.batch import BatchedDelaySampler, BucketQueue
 from repro.sim.faults import FaultPlan
 from repro.sim.network import DelayModel, FixedDelay, Network
 from repro.env import Process
 from repro.sim.trace import TRACE_LEVELS, CounterTrace, MessageRecord, Trace
+
+#: event-queue selection knobs accepted by :class:`Scheduler`
+EVENT_QUEUES = ("auto", "heap", "bucket")
 
 ProcessFactory = Callable[[int, int, int, "SimEnv"], Process]
 
@@ -124,6 +146,8 @@ class Scheduler:
         protocol_name: str = "",
         trace_level: str = "full",
         controller: Optional[Any] = None,
+        event_queue: str = "auto",
+        delay_sampler: Optional[BatchedDelaySampler] = None,
     ):
         if n < 2:
             raise ConfigurationError(f"need at least 2 processes, got n={n}")
@@ -132,6 +156,16 @@ class Scheduler:
         if trace_level not in TRACE_LEVELS:
             raise ConfigurationError(
                 f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
+            )
+        if event_queue not in EVENT_QUEUES:
+            raise ConfigurationError(
+                f"unknown event_queue {event_queue!r}; expected one of {EVENT_QUEUES}"
+            )
+        if event_queue == "bucket" and controller is not None:
+            raise ConfigurationError(
+                "event_queue='bucket' cannot run under a schedule controller; "
+                "controllers defer and inspect Event objects, which requires "
+                "the heap queue (use event_queue='auto' or 'heap')"
             )
         self.n = n
         self.f = f
@@ -151,6 +185,18 @@ class Scheduler:
         self.processes: Dict[int, Process] = {}
         self.envs: Dict[int, SimEnv] = {pid: SimEnv(self, pid) for pid in range(1, n + 1)}
         self._heap: List[tuple] = []
+        use_bucket = event_queue == "bucket" or (
+            event_queue == "auto"
+            and controller is None
+            and getattr(self.network.delay_model, "bucketable", False)
+        )
+        self._bucketq: Optional[BucketQueue] = BucketQueue() if use_bucket else None
+        # batched sampling is orthogonal to the queue choice: bind the
+        # sampler (a per-cell object when the sweep engine passes one in)
+        # to this run's delay model; models that are not i.i.d. refuse
+        sampler = delay_sampler if delay_sampler is not None else BatchedDelaySampler()
+        self._delay_sampler = sampler if sampler.bind(self.network.delay_model) else None
+        self.network.attach_sampler(self._delay_sampler)
         self._seq = 0
         self._msg_counter = 0
         #: in-flight records by msg id, so delivery marking is O(1) (records
@@ -209,7 +255,14 @@ class Scheduler:
         return self._seq
 
     def _push(self, event: Event) -> None:
-        heapq.heappush(self._heap, (event.sort_key(), event))
+        bucketq = self._bucketq
+        if bucketq is None:
+            heapq.heappush(self._heap, (event.sort_key(), event))
+        else:
+            # full Event objects ride the bucket FIFOs too (rare events, and
+            # any event pushed by a subclass); the loop dispatches them
+            # through _dispatch so overrides keep working
+            bucketq.push(event.time, event.priority, event)
 
     def post_propose(self, pid: int, value: Any, at: float = 0.0) -> None:
         self._push(
@@ -242,7 +295,12 @@ class Scheduler:
             recv_time = send_time
             counted = False
         else:
-            delay = self.network.transit_delay(src, dst, payload, send_time, msg_id)
+            sampler = self._delay_sampler
+            if sampler is not None and not self.network._overrides:
+                # no override rules can fire: the nominal draw IS the delay
+                delay = sampler.next_delay()
+            else:
+                delay = self.network.transit_delay(src, dst, payload, send_time, msg_id)
             recv_time = send_time + delay
             counted = True
         record = self.trace.record_send(
@@ -250,18 +308,33 @@ class Scheduler:
         )
         if record is not None:  # the counters level keeps no records
             self._pending_records[msg_id] = record
-        self._push(
-            MessageDeliveryEvent(
-                time=recv_time,
-                priority=PRIORITY_DELIVERY,
-                seq=self._next_seq(),
-                src=src,
-                dst=dst,
-                payload=payload,
-                send_time=send_time,
-                msg_id=msg_id,
+        bucketq = self._bucketq
+        if bucketq is None:
+            self._push(
+                MessageDeliveryEvent(
+                    time=recv_time,
+                    priority=PRIORITY_DELIVERY,
+                    seq=self._next_seq(),
+                    src=src,
+                    dst=dst,
+                    payload=payload,
+                    send_time=send_time,
+                    msg_id=msg_id,
+                )
             )
-        )
+        else:
+            # deliveries are the hot event: a bare tuple in the priority-2
+            # FIFO carries everything dispatch needs (the bucket key is the
+            # receive time, FIFO position is the seq order), skipping the
+            # frozen-dataclass Event allocation entirely
+            bucket = bucketq.buckets.get(recv_time)
+            if bucket is None:
+                bucket = bucketq.buckets[recv_time] = [
+                    [], [], [], [], [], [0, 0, 0, 0, 0], 0,
+                ]
+                heapq.heappush(bucketq.times, recv_time)
+            bucket[PRIORITY_DELIVERY].append((src, dst, payload, msg_id))
+            bucket[6] += 1
 
     def set_timer(self, pid: int, at_units: float, name: str) -> None:
         """Arm (or re-arm) the named timer; re-arming supersedes the pending fire."""
@@ -269,21 +342,40 @@ class Scheduler:
         generation = self._timer_generation.get(key, 0) + 1
         self._timer_generation[key] = generation
         fire_time = max(self.clock.now, self.clock.units_to_time(at_units))
-        self._push(
-            TimerEvent(
-                time=fire_time,
-                priority=PRIORITY_TIMER,
-                seq=self._next_seq(),
-                pid=pid,
-                name=name,
-                generation=generation,
-                deadline_units=at_units,
+        bucketq = self._bucketq
+        if bucketq is None:
+            self._push(
+                TimerEvent(
+                    time=fire_time,
+                    priority=PRIORITY_TIMER,
+                    seq=self._next_seq(),
+                    pid=pid,
+                    name=name,
+                    generation=generation,
+                    deadline_units=at_units,
+                )
             )
-        )
+        else:
+            # timers ride the priority-3 FIFO as bare tuples; the fire time
+            # is the bucket key
+            bucket = bucketq.buckets.get(fire_time)
+            if bucket is None:
+                bucket = bucketq.buckets[fire_time] = [
+                    [], [], [], [], [], [0, 0, 0, 0, 0], 0,
+                ]
+                heapq.heappush(bucketq.times, fire_time)
+            bucket[PRIORITY_TIMER].append((pid, name, generation))
+            bucket[6] += 1
 
     def cancel_timer(self, pid: int, name: str) -> None:
         key = (pid, name)
-        self._timer_generation[key] = self._timer_generation.get(key, 0) + 1
+        generation = self._timer_generation.get(key)
+        if generation is None:
+            # nothing was ever armed under this name: cancelling is a no-op
+            # (bumping a fresh counter here would grow the map unboundedly
+            # for callers that cancel defensively)
+            return
+        self._timer_generation[key] = generation + 1
 
     def record_decision(self, pid: int, value: Any) -> None:
         if pid in self.trace.decisions:
@@ -323,6 +415,15 @@ class Scheduler:
             begin = getattr(self._controller, "begin", None)
             if begin is not None:
                 begin(self)
+        if self._bucketq is not None:
+            self._run_bucket()
+        else:
+            self._run_heap()
+        self.trace.end_time = self.clock.time_to_units(self.clock.now)
+        return self.trace
+
+    def _run_heap(self) -> None:
+        """The reference loop over the binary heap."""
         while self._heap:
             _, event = heapq.heappop(self._heap)
             if event.time > self.max_time:
@@ -339,8 +440,82 @@ class Scheduler:
                 break
             if self._stop_predicate is not None and self._stop_predicate(self):
                 break
-        self.trace.end_time = self.clock.time_to_units(self.clock.now)
-        return self.trace
+
+    def _run_bucket(self) -> None:
+        """The bucket-queue loop: same event order, inlined hot dispatch.
+
+        Pops are inlined against the bucket structure and the two hot event
+        kinds (deliveries, timers) arrive as bare tuples that never became
+        Event objects; everything else is a real Event dispatched through
+        :meth:`_dispatch` so subclass overrides behave identically.  The
+        max_time check peeks before popping where the heap pops then breaks
+        — observationally identical, since the heap's discarded event is
+        past max_time and never dispatched.  No controller ever runs here
+        (construction forbids it), so the consult step is simply absent.
+        """
+        bucketq = self._bucketq
+        times = bucketq.times
+        buckets = bucketq.buckets
+        clock = self.clock
+        max_time = self.max_time
+        processes = self.processes
+        pending = self._pending_records
+        timer_generation = self._timer_generation
+        trace = self.trace
+        while times:
+            time = times[0]
+            if time > max_time:
+                break
+            bucket = buckets[time]
+            cursors = bucket[5]
+            for priority in range(5):
+                index = cursors[priority]
+                fifo = bucket[priority]
+                if index < len(fifo):
+                    break
+            entry = fifo[index]
+            cursors[priority] = index + 1
+            remaining = bucket[6] - 1
+            if remaining:
+                bucket[6] = remaining
+            else:
+                del buckets[time]
+                heapq.heappop(times)
+            # inline clock.advance_to(time): same monotonicity guard
+            now = clock._now
+            if time > now:
+                clock._now = time
+            elif time < now - 1e-12:
+                raise SimulationError(
+                    f"clock cannot run backwards: {time} < {now}"
+                )
+            if entry.__class__ is tuple:
+                if priority == PRIORITY_DELIVERY:
+                    src, dst, payload, msg_id = entry
+                    record = pending.pop(msg_id, None) if pending else None
+                    process = processes.get(dst)
+                    if process is not None and not process.crashed:
+                        if record is not None:
+                            record.delivered = True
+                        process.deliver(src, payload)
+                else:  # PRIORITY_TIMER: (pid, name, generation)
+                    pid, name, generation = entry
+                    process = processes.get(pid)
+                    if (
+                        process is not None
+                        and not process.crashed
+                        and timer_generation.get((pid, name), 0) == generation
+                    ):
+                        trace.record_timer(pid, name, clock.time_to_units(time))
+                        process.timeout(name)
+            else:
+                self._dispatch(entry)
+            if self._stopped:
+                break
+            if self._correct_pids is not None and self._undecided_correct == 0:
+                break
+            if self._stop_predicate is not None and self._stop_predicate(self):
+                break
 
     def stop(self) -> None:
         self._stopped = True
@@ -600,6 +775,7 @@ class Simulation:
         stop_when_all_correct_decided: bool = True,
         protocol_kwargs: Optional[Dict[str, Any]] = None,
         trace_level: str = "full",
+        event_queue: str = "auto",
     ):
         if (process_class is None) == (process_factory is None):
             raise ConfigurationError(
@@ -608,6 +784,10 @@ class Simulation:
         if trace_level not in TRACE_LEVELS:
             raise ConfigurationError(
                 f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
+            )
+        if event_queue not in EVENT_QUEUES:
+            raise ConfigurationError(
+                f"unknown event_queue {event_queue!r}; expected one of {EVENT_QUEUES}"
             )
         self.n = n
         self.f = f
@@ -620,6 +800,7 @@ class Simulation:
         self._max_time = max_time
         self._stop_when_decided = stop_when_all_correct_decided
         self._trace_level = trace_level
+        self._event_queue = event_queue
         self._factory = self._make_factory()
         self._protocol_name = (
             process_class.__name__ if process_class is not None else "custom"
@@ -643,6 +824,8 @@ class Simulation:
         fault_plan: Optional[FaultPlan] = None,
         seed: Optional[int] = None,
         controller: Optional[Any] = None,
+        event_queue: Optional[str] = None,
+        delay_sampler: Optional[BatchedDelaySampler] = None,
     ) -> SimulationResult:
         """Run one execution with the given per-process votes.
 
@@ -651,7 +834,11 @@ class Simulation:
         one ``Simulation`` per grid cell across per-trial-seeded models.
         ``controller`` attaches a schedule controller (see
         :mod:`repro.explore`) to this run; the applied schedule decisions
-        land in ``trace.metadata["schedule_decisions"]``.
+        land in ``trace.metadata["schedule_decisions"]``.  ``event_queue``
+        overrides the constructor's queue choice for this run;
+        ``delay_sampler`` supplies a reusable
+        :class:`~repro.sim.batch.BatchedDelaySampler` (the sweep engine keeps
+        one per cell so its buffer survives across trials).
         """
         if isinstance(votes, dict):
             vote_map = dict(votes)
@@ -672,6 +859,11 @@ class Simulation:
             protocol_name=self._protocol_name,
             trace_level=self._trace_level,
             controller=controller,
+            # a controller forces the heap even when the constructor asked
+            # for auto; an explicit "bucket" request with a controller is
+            # rejected by the Scheduler itself
+            event_queue=event_queue if event_queue is not None else self._event_queue,
+            delay_sampler=delay_sampler,
         )
         scheduler.bind_processes(self._factory)
         for pid in range(1, self.n + 1):

@@ -1,0 +1,14 @@
+"""Fixture: DET002 — numpy's interpreter-global RNG (module-level calls)."""
+
+import numpy
+import numpy as np
+from numpy.random import uniform
+
+np.random.seed(42)
+DRAW = np.random.uniform(0.0, 1.0, size=8)
+OTHER = numpy.random.rand(3)
+
+# sanctioned: explicitly seeded generator objects never fire
+STATE = np.random.RandomState(7)
+GEN = np.random.default_rng(7)
+OK = STATE.uniform(0.0, 1.0, size=8)

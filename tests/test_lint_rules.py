@@ -55,6 +55,22 @@ class TestBadFixtures:
         assert "time.time()" in messages
         assert "datetime.now()" in messages
 
+    def test_det002_numpy_global_random(self):
+        report = findings_of("bad_det002_numpy_random.py")
+        # the import of a module-level sampler, both global-state call
+        # spellings, and np.random.seed itself; seeded RandomState /
+        # default_rng constructions never fire
+        assert locations(report, "DET002") == [
+            ("DET002", 5),
+            ("DET002", 7),
+            ("DET002", 8),
+            ("DET002", 9),
+        ]
+        messages = " ".join(f.message for f in report.findings)
+        assert "np.random.seed()" in messages
+        assert "numpy.random.rand()" in messages
+        assert "RandomState" in messages
+
     def test_det003_id_and_hash_keyed_sorts(self):
         report = findings_of("bad_det003_hash_sort.py")
         assert locations(report, "DET003") == [("DET003", 5), ("DET003", 9)]

@@ -122,6 +122,26 @@ class TestEngineEmission:
         assert_well_formed_stream(progress.events, 8)
         assert progress.events[-1].fold == "trial"
 
+    def test_parallel_full_mode_reports_honest_chunk_counts(self):
+        # regression: the pooled full-mode path used to advertise
+        # chunks_total == len(trials) while ships happened in imap chunks,
+        # so queue_depth lied about the pool's remaining work
+        progress = CollectingProgress()
+        result = run_sweep(small_grid(16), workers=2, progress=progress)
+        if result.meta["mode"] != "parallel":
+            pytest.skip("fork start method unavailable; parallel path not exercised")
+        assert_well_formed_stream(progress.events, 16)
+        # 16 trials over 2 workers -> imap chunk of 2 -> 8 honest chunks
+        chunk = max(1, 16 // (2 * 4))
+        expected_chunks = (16 + chunk - 1) // chunk
+        assert all(e.chunks_total == expected_chunks for e in progress.events)
+        assert progress.events[0].chunks_done == 0
+        assert progress.events[-1].chunks_done == expected_chunks
+        # intermediate counts only ever move in whole completed chunks
+        chunk_counts = [e.chunks_done for e in progress.events]
+        assert chunk_counts == sorted(chunk_counts)
+        assert all(0 <= c <= expected_chunks for c in chunk_counts)
+
     def test_progress_left_none_emits_nothing_and_meta_is_unchanged(self):
         without = run_sweep(small_grid(), workers=1, mode="aggregate", fold="chunk")
         progress = CollectingProgress()

@@ -362,3 +362,87 @@ class TestTraceInvariants:
         assert len(result.decisions()) == n
         assert result.trace.last_decision_time() == 2.0
         assert result.trace.message_count() == 2 * f * n
+
+
+# --------------------------------------------------------------------------- #
+# percentile digests
+# --------------------------------------------------------------------------- #
+class TestPercentileDigests:
+    """``_digest_percentile`` must select the same element as ``_percentile``.
+
+    The counters trace level ships a value -> multiplicity digest instead of
+    the raw latency list; the aggregate fingerprint is only stable across
+    trace levels if both percentile paths agree down to the byte.
+    """
+
+    @given(
+        st.dictionaries(
+            st.floats(min_value=0.001, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            st.integers(min_value=1, max_value=20),
+            min_size=1,
+            max_size=30,
+        ),
+        st.sampled_from([0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_digest_matches_expanded_list(self, counts, q):
+        from repro.exp.results import _digest_percentile, _percentile
+
+        expanded = sorted(
+            value for value, mult in counts.items() for _ in range(mult)
+        )
+        total = sum(counts.values())
+        assert _digest_percentile(counts, total, q) == _percentile(expanded, q)
+
+    @given(st.floats(min_value=0.001, max_value=100.0,
+                     allow_nan=False, allow_infinity=False),
+           st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_single_value_digest_is_that_value_at_every_q(self, value, mult):
+        from repro.exp.results import _digest_percentile, _percentile
+
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert _digest_percentile({value: mult}, mult, q) == value
+            assert _percentile([value] * mult, q) == value
+
+    def test_empty_digest_is_none(self):
+        from repro.exp.results import _digest_percentile, _percentile
+
+        assert _digest_percentile({}, 0, 50.0) is None
+        assert _percentile([], 50.0) is None
+
+
+# --------------------------------------------------------------------------- #
+# bucket queue vs binary heap
+# --------------------------------------------------------------------------- #
+class TestBucketQueueEquivalence:
+    """Random run configurations never distinguish the two event queues."""
+
+    @given(
+        st.sampled_from(["fixed", "uniform", "lognormal", "flaky-link"]),
+        st.sampled_from(["failure-free", "crash", "rejoin"]),
+        st.integers(min_value=0, max_value=2**16),
+        st.lists(st.sampled_from([0, 1]), min_size=4, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fingerprint_identical_on_bucket_and_heap(
+        self, delay_name, fault_name, seed, votes
+    ):
+        from repro.exp.registry import NamedDelayFactory, NamedFaultFactory
+        from repro.protocols import INBAC
+        from repro.sim.runner import Simulation
+
+        fingerprints = []
+        for event_queue in ("heap", "bucket"):
+            sim = Simulation(
+                n=4,
+                f=1,
+                process_class=INBAC,
+                delay_model=NamedDelayFactory(delay_name, {})(seed),
+                fault_plan=NamedFaultFactory(fault_name, {})(),
+                seed=seed,
+                event_queue=event_queue,
+            )
+            fingerprints.append(sim.run(votes=votes).trace.fingerprint())
+        assert fingerprints[0] == fingerprints[1]

@@ -1,0 +1,173 @@
+"""Bucket-queue scheduler: gating, trace equivalence, timer semantics.
+
+The bucket queue is only allowed to exist because it is *invisible*: for
+every registered delay model and fault plan, a run on the bucket queue must
+produce a trace byte-identical (same fingerprint) to the same run on the
+binary heap.  These tests pin that equivalence plus the auto-gating rules
+and the ``cancel_timer`` regression from the same PR.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp.registry import (
+    NamedDelayFactory,
+    NamedFaultFactory,
+    delay_model_names,
+    fault_plan_names,
+)
+from repro.explore.schedule import ScheduleController
+from repro.protocols import INBAC, TwoPhaseCommit
+from repro.sim.network import FixedDelay, FlakyLinkDelay, UniformDelay
+from repro.sim.runner import Scheduler, Simulation
+
+
+def _run_fingerprint(protocol, delay_name, fault_name, event_queue, seed=7):
+    sim = Simulation(
+        n=4,
+        f=1,
+        process_class=protocol,
+        delay_model=NamedDelayFactory(delay_name, {})(seed),
+        fault_plan=NamedFaultFactory(fault_name, {})(),
+        seed=seed,
+        trace_level="full",
+        event_queue=event_queue,
+    )
+    return sim.run(votes=[1, 1, 0, 1]).trace.fingerprint()
+
+
+class TestQueueGating:
+    @pytest.mark.parametrize(
+        "model",
+        [FixedDelay(1.0), UniformDelay(0.2, 1.0, seed=3)],
+        ids=["fixed", "uniform"],
+    )
+    def test_auto_picks_bucket_for_bounded_models(self, model):
+        scheduler = Scheduler(n=4, f=1, delay_model=model)
+        assert scheduler._bucketq is not None
+
+    def test_auto_picks_heap_for_unbounded_models(self):
+        model = FlakyLinkDelay(u=1.0, outages=((1, 2, 0.0, 3.0),))
+        scheduler = Scheduler(n=4, f=1, delay_model=model)
+        assert scheduler._bucketq is None
+
+    def test_controller_forces_heap_under_auto(self):
+        # controllers defer/inspect Event objects, which only the heap holds
+        scheduler = Scheduler(
+            n=4, f=1, delay_model=FixedDelay(1.0), controller=ScheduleController()
+        )
+        assert scheduler._bucketq is None
+
+    def test_explicit_bucket_with_controller_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(
+                n=4,
+                f=1,
+                delay_model=FixedDelay(1.0),
+                controller=ScheduleController(),
+                event_queue="bucket",
+            )
+
+    def test_explicit_heap_is_honored(self):
+        scheduler = Scheduler(
+            n=4, f=1, delay_model=FixedDelay(1.0), event_queue="heap"
+        )
+        assert scheduler._bucketq is None
+
+    def test_unknown_queue_name_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(n=4, f=1, event_queue="calendar")
+        with pytest.raises(ConfigurationError):
+            Simulation(n=4, f=1, process_class=TwoPhaseCommit, event_queue="x")
+
+
+class TestBucketHeapEquivalence:
+    @pytest.mark.parametrize("fault_name", sorted(fault_plan_names()))
+    @pytest.mark.parametrize("delay_name", sorted(delay_model_names()))
+    @pytest.mark.parametrize("protocol", [TwoPhaseCommit, INBAC])
+    def test_fingerprints_identical_across_queues(
+        self, protocol, delay_name, fault_name
+    ):
+        # the full registered matrix; for unbounded models "bucket" is an
+        # explicit request, exercising the forced-bucket path too
+        heap_fp = _run_fingerprint(protocol, delay_name, fault_name, "heap")
+        bucket_fp = _run_fingerprint(protocol, delay_name, fault_name, "bucket")
+        auto_fp = _run_fingerprint(protocol, delay_name, fault_name, "auto")
+        assert bucket_fp == heap_fp
+        assert auto_fp == heap_fp
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_equivalence_holds_across_seeds(self, seed):
+        heap_fp = _run_fingerprint(INBAC, "uniform", "crash", "heap", seed=seed)
+        bucket_fp = _run_fingerprint(INBAC, "uniform", "crash", "bucket", seed=seed)
+        assert bucket_fp == heap_fp
+
+
+class TestCancelTimer:
+    def test_cancel_of_never_armed_timer_is_a_noop(self):
+        # regression: cancelling a name that was never armed used to insert
+        # a generation entry, growing the map for defensive cancellers
+        scheduler = Scheduler(n=4, f=1, delay_model=FixedDelay(1.0))
+        scheduler.cancel_timer(1, "never-armed")
+        assert (1, "never-armed") not in scheduler._timer_generation
+
+    def test_cancel_of_armed_timer_still_suppresses_it(self):
+        fired = []
+
+        class OneTimer(TwoPhaseCommit):
+            def on_start(self):
+                super().on_start()
+                if self.pid == 1:
+                    self.env.set_timer(2.0, "probe")
+                    self.env.cancel_timer("probe")
+
+            def timeout(self, name):
+                if name == "probe":
+                    fired.append(self.pid)
+                super().timeout(name)
+
+        for event_queue in ("heap", "bucket"):
+            fired.clear()
+            sim = Simulation(
+                n=4,
+                f=1,
+                process_class=OneTimer,
+                delay_model=FixedDelay(0.5),
+                max_time=10.0,
+                # keep running past the decision so the timer window elapses
+                stop_when_all_correct_decided=False,
+                event_queue=event_queue,
+            )
+            sim.run(votes=[1, 1, 1, 1])
+            assert fired == []
+
+    def test_rearmed_timer_fires_once_on_both_queues(self):
+        fired = []
+
+        class Rearm(TwoPhaseCommit):
+            def on_start(self):
+                super().on_start()
+                if self.pid == 1:
+                    self.env.set_timer(1.0, "probe")
+                    self.env.set_timer(2.0, "probe")  # supersedes the first
+
+            def timeout(self, name):
+                if name == "probe":
+                    fired.append(self.env.now())
+                super().timeout(name)
+
+        for event_queue in ("heap", "bucket"):
+            fired.clear()
+            sim = Simulation(
+                n=4,
+                f=1,
+                process_class=Rearm,
+                delay_model=FixedDelay(0.2),
+                max_time=10.0,
+                stop_when_all_correct_decided=False,
+                event_queue=event_queue,
+            )
+            sim.run(votes=[1, 1, 1, 1])
+            assert fired == [2.0]

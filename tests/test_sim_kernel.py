@@ -99,6 +99,17 @@ class TestDelayModels:
         with pytest.raises(ConfigurationError):
             UniformDelay(0.1, 0.9, u=0.5)
 
+    def test_uniform_delay_validation_messages_are_precise(self):
+        # regression: lo <= 0 and hi < lo used to share one vague message
+        with pytest.raises(ConfigurationError) as err:
+            UniformDelay(0.0, 1.0)
+        assert "lower bound must be positive" in str(err.value)
+        assert "lo=0.0" in str(err.value)
+        with pytest.raises(ConfigurationError) as err:
+            UniformDelay(0.5, 0.2)
+        assert "upper bound must be >= lower bound" in str(err.value)
+        assert "hi=0.2 < lo=0.5" in str(err.value)
+
     def test_lognormal_delay_clipped_at_bound(self):
         model = LognormalDelay(median=0.2, sigma=1.5, u=1.0, seed=3)
         samples = [model.delay(1, 2, None, 0.0) for _ in range(500)]
@@ -115,8 +126,10 @@ class TestDelayModels:
         assert model.delay(1, 3, None, 0.0) == 1.0
 
     def test_adversarial_delay_must_be_positive(self):
+        # a mid-run fault, not a construction-time one: SimulationError so
+        # sweep error capture (TrialResult.error) classifies it correctly
         model = AdversarialDelay(lambda s, d, p, t: -1.0)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(SimulationError):
             model.delay(1, 2, None, 0.0)
 
     def test_deterministic_given_seed(self):
@@ -219,3 +232,28 @@ class TestNetwork:
         network = Network(FixedDelay(0.5))
         network.install_overrides([DelayRule(dst=3, extra=2.0)])
         assert network.transit_delay(1, 3, None, 0.0, 1) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_non_positive_override_is_rejected_naming_the_rule(self, bad):
+        # regression: overrides used to be returned unvalidated, silently
+        # scheduling delivery at or before the send time
+        network = Network(FixedDelay(1.0))
+        rule = DelayRule(src=1, dst=2, delay=bad)
+        network.install_overrides([rule])
+        with pytest.raises(SimulationError) as err:
+            network.transit_delay(1, 2, None, 0.0, 1)
+        message = str(err.value)
+        assert repr(rule) in message
+        assert str(bad) in message
+
+    def test_non_positive_override_surfaces_mid_simulation(self):
+        # end to end: the bad rule fires inside a run and is classified as a
+        # simulation fault, not swallowed into a corrupted schedule
+        from repro.protocols import TwoPhaseCommit
+        from repro.sim.faults import FaultPlan
+        from repro.sim.runner import Simulation
+
+        plan = FaultPlan(delay_rules=[DelayRule(src=1, dst=2, delay=0.0)])
+        sim = Simulation(n=4, f=1, process_class=TwoPhaseCommit)
+        with pytest.raises(SimulationError):
+            sim.run(votes=[1, 1, 1, 1], fault_plan=plan)
